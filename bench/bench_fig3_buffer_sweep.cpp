@@ -1,0 +1,94 @@
+// Figure 3 of the paper: real and CPU time versus pattern buffer size, for
+// the estimator-remote scenario over the WAN, with the actual gate-level
+// (PPP) power computation disabled so that all cost is RMI overhead.
+//
+// Claims under test:
+//   - both real and CPU time DECREASE as the buffer grows (fewer RMI round
+//     trips, less per-call marshalling);
+//   - diminishing returns beyond ~50% of the data size (the per-call setup
+//     overhead becomes small relative to the payload transfer time).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace vcad::bench {
+namespace {
+
+constexpr std::size_t kPatterns = 100;
+constexpr int kRepeats = 20;
+
+struct Point {
+  int bufferPct;
+  double cpuMs;
+  double realMs;
+  std::uint64_t rmiCalls;
+};
+
+Point measure(int bufferPct) {
+  const std::size_t capacity =
+      std::max<std::size_t>(2, kPatterns * static_cast<std::size_t>(bufferPct) / 100);
+  Figure2Run run(Scenario::EstimatorRemote, net::NetworkProfile::wan(),
+                 kPatterns, capacity, /*stubPowerCompute=*/true);
+  (void)run.run(2);  // warm-up
+  const auto res = run.run(kRepeats);
+  return Point{bufferPct, res.clientCpuSec * 1e3, res.realSec * 1e3,
+               res.rmiCalls};
+}
+
+void printFigure3() {
+  std::printf("\nFigure 3 — estimator remote over WAN, %zu patterns, PPP "
+              "call disabled: time vs pattern buffer size\n\n",
+              kPatterns);
+  std::printf("%10s | %12s %13s | %9s\n", "buffer(%)", "CPU (ms)",
+              "real (ms)", "RMI calls");
+  printRule(56);
+  std::vector<Point> points;
+  for (int pct : {1, 2, 5, 10, 20, 30, 40, 50, 75, 100}) {
+    points.push_back(measure(pct));
+    const Point& p = points.back();
+    std::printf("%10d | %12.3f %13.1f | %9llu\n", p.bufferPct, p.cpuMs,
+                p.realMs, static_cast<unsigned long long>(p.rmiCalls));
+  }
+  printRule(56);
+
+  const Point& smallest = points.front();
+  const Point& half = points[7];  // 50%
+  const Point& full = points.back();
+  std::printf("\nshape checks (paper claim -> measured):\n");
+  std::printf("  real time decreases with buffer size    : %.1f -> %.1f ms "
+              "-> %s\n",
+              smallest.realMs, full.realMs,
+              full.realMs < smallest.realMs ? "OK" : "VIOLATED");
+  std::printf("  CPU time decreases with buffer size     : %.3f -> %.3f ms "
+              "-> %s\n",
+              smallest.cpuMs, full.cpuMs,
+              full.cpuMs < smallest.cpuMs + 0.05 ? "OK" : "VIOLATED");
+  const double gainTo50 = smallest.realMs - half.realMs;
+  const double gain50To100 = half.realMs - full.realMs;
+  std::printf("  diminishing returns beyond 50%%          : gain 1..50%% = "
+              "%.1f ms, gain 50..100%% = %.1f ms -> %s\n",
+              gainTo50, gain50To100,
+              gainTo50 > 2 * std::abs(gain50To100) ? "OK" : "VIOLATED");
+}
+
+void BM_BufferSweep(benchmark::State& state) {
+  const int pct = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const Point p = measure(pct);
+    benchmark::DoNotOptimize(p.realMs);
+    state.counters["sim_real_ms"] = p.realMs;
+    state.counters["rmi_calls"] = static_cast<double>(p.rmiCalls);
+  }
+}
+BENCHMARK(BM_BufferSweep)->Arg(5)->Arg(50)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vcad::bench
+
+int main(int argc, char** argv) {
+  vcad::bench::printFigure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// RMI-layer ablations:
+//
+//   1. Marshalling cost: request marshal/unmarshal as the pattern batch
+//      grows (the per-event cost that makes the MR scenario 3x slower in
+//      the paper's Table 2).
+//   2. Security-filter overhead: the marshalling filter's scan per request.
+//   3. Blocking vs non-blocking estimation: how much WAN latency the
+//      new-thread (non-blocking) gate-level runs hide.
+//   4. Per-profile single-call cost.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace vcad::bench {
+namespace {
+
+rmi::Request makeBatchRequest(int nPatterns) {
+  rmi::Request r;
+  r.session = 1;
+  r.instance = 1;
+  r.method = rmi::MethodId::EstimatePower;
+  std::vector<Word> batch;
+  Rng rng(7);
+  for (int i = 0; i < nPatterns; ++i) {
+    batch.push_back(Word::fromUint(32, rng.next()));
+  }
+  r.args.addWordVector(batch);
+  return r;
+}
+
+void blockingVsNonblocking() {
+  std::printf("\n[3] blocking vs non-blocking remote estimation "
+              "(ER over WAN, 100 patterns, buffer 5)\n");
+  std::printf("    %-12s | %14s | %16s | %16s\n", "mode", "real (ms)",
+              "blocked (ms)", "overlapped (ms)");
+  printRule(70);
+  for (bool nonblocking : {false, true}) {
+    ip::ProviderServer server("provider.host", nullptr);
+    registerMultiplier(server);
+    PowerComputeStub stub(server);
+    rmi::RmiChannel channel(stub, net::NetworkProfile::wan());
+    ip::ProviderHandle provider(channel);
+
+    const int w = 16;
+    Circuit c("er");
+    auto& A = c.makeWord(w);
+    auto& B = c.makeWord(w);
+    auto& O = c.makeWord(2 * w);
+    c.make<rtl::RandomPrimaryInput>("INA", w, A, 100, 10, 1);
+    c.make<rtl::RandomPrimaryInput>("INB", w, B, 100, 10, 2);
+    ip::RemoteConfig cfg;
+    cfg.patternBufferCapacity = 5;
+    cfg.nonblockingEstimation = nonblocking;
+    auto& mult = c.make<ip::RemoteComponent>(
+        "MULT", provider, "MultFastLowPower", w,
+        std::vector<std::pair<std::string, Connector*>>{{"a", &A}, {"b", &B}},
+        std::vector<std::pair<std::string, Connector*>>{{"o", &O}}, cfg);
+
+    SimulationController sim(c);
+    const auto start = std::chrono::steady_clock::now();
+    sim.start();
+    SimContext ctx{sim.scheduler(), nullptr};
+    (void)mult.finishPowerEstimation(ctx);
+    const double cpu =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const auto& st = channel.stats();
+    // Bounds for the non-blocking case: if the overlapped calls serialize,
+    // the client eventually waits for their sum; if they fully parallelize
+    // and hide behind client work, only the longest single call can stall
+    // the end of the run.
+    const double worst = cpu + st.blockingWallSec +
+                         std::max(0.0, st.nonblockingWallSec - cpu);
+    const double best = cpu + st.blockingWallSec +
+                        std::max(0.0, st.maxNonblockingCallSec - cpu);
+    std::printf("    %-12s | %7.1f..%-7.1f | %16.1f | %16.1f\n",
+                nonblocking ? "non-blocking" : "blocking", best * 1e3,
+                worst * 1e3, st.blockingWallSec * 1e3,
+                st.nonblockingWallSec * 1e3);
+  }
+  std::printf("    (non-blocking estimation still pays for the batches, but "
+              "overlapped with simulation — the paper's latency hiding)\n");
+}
+
+void perProfileCost() {
+  std::printf("\n[4] single-call simulated cost per network profile "
+              "(5-pattern power batch)\n");
+  std::printf("    %-10s | %14s\n", "profile", "sim stall (ms)");
+  printRule(32);
+  for (const auto& profile :
+       {net::NetworkProfile::localhost(), net::NetworkProfile::lan(),
+        net::NetworkProfile::wan()}) {
+    ip::ProviderServer server("provider.host", nullptr);
+    registerMultiplier(server);
+    rmi::RmiChannel channel(server, profile);
+    ip::ProviderHandle provider(channel);
+    rmi::Args args;
+    args.addU64(8);
+    auto resp = provider.call(rmi::MethodId::Instantiate, 0, std::move(args),
+                              "MultFastLowPower");
+    const auto id = resp.payload.readU64();
+    const double before = channel.stats().blockingWallSec;
+    rmi::Args pw;
+    std::vector<Word> batch(5, Word::fromUint(16, 0xABCD));
+    pw.addWordVector(batch);
+    provider.call(rmi::MethodId::EstimatePower, id, std::move(pw));
+    std::printf("    %-10s | %14.3f\n", profile.name.c_str(),
+                (channel.stats().blockingWallSec - before) * 1e3);
+  }
+}
+
+void BM_RequestMarshal(benchmark::State& state) {
+  const rmi::Request req = makeBatchRequest(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    net::ByteBuffer wire = req.marshal();
+    benchmark::DoNotOptimize(rmi::Request::unmarshal(wire));
+  }
+  state.counters["bytes"] = static_cast<double>(req.marshal().size());
+}
+BENCHMARK(BM_RequestMarshal)->Arg(1)->Arg(5)->Arg(20)->Arg(100)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_SecurityFilter(benchmark::State& state) {
+  const rmi::Request req = makeBatchRequest(static_cast<int>(state.range(0)));
+  rmi::MarshalFilter filter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.admit(req));
+  }
+}
+BENCHMARK(BM_SecurityFilter)->Arg(5)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_ChannelCall(benchmark::State& state) {
+  ip::ProviderServer server("provider.host", nullptr);
+  registerMultiplier(server);
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
+  ip::ProviderHandle provider(channel);
+  rmi::Args args;
+  args.addU64(8);
+  auto resp = provider.call(rmi::MethodId::Instantiate, 0, std::move(args),
+                            "MultFastLowPower");
+  const auto id = resp.payload.readU64();
+  for (auto _ : state) {
+    rmi::Args ev;
+    ev.addWord(Word::fromUint(16, 0x1234));
+    benchmark::DoNotOptimize(
+        provider.call(rmi::MethodId::EvalFunction, id, std::move(ev)));
+  }
+}
+BENCHMARK(BM_ChannelCall)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vcad::bench
+
+int main(int argc, char** argv) {
+  std::printf("\nRMI overhead ablations\n");
+  vcad::bench::blockingVsNonblocking();
+  vcad::bench::perProfileCost();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

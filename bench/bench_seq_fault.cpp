@@ -1,0 +1,137 @@
+// Ablation bench for the *sequential* extension of virtual fault
+// simulation (the paper: "extensions to general fault models and sequential
+// circuits are also feasible").
+//
+//   1. Coverage vs. sequence length on canonical machines (counter, LFSR,
+//      accumulator): sequential faults need cycles to excite and observe.
+//   2. Protocol cost of the shadow-machine protocol when the machine is a
+//      remote IP block, per network profile.
+//   3. Fault dropping: shadow steps actually executed vs. the naive
+//      |faults| x |cycles| bound.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "common.hpp"
+#include "fault/seq_fault.hpp"
+
+namespace vcad::bench {
+namespace {
+
+std::vector<Word> stimulus(int width, int cycles, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Word> out;
+  for (int i = 0; i < cycles; ++i) {
+    // Keep enable mostly on so the machines make progress.
+    Word w = Word::fromUint(width, rng.next());
+    w.setBit(0, rng.chance(0.85) ? Logic::L1 : Logic::L0);
+    out.push_back(w);
+  }
+  return out;
+}
+
+void coverageVsCycles() {
+  std::printf("\n[1] coverage vs sequence length (local machines)\n");
+  std::printf("    %-12s | %7s |", "machine", "faults");
+  for (int cycles : {2, 5, 10, 20, 40}) std::printf(" %5d cy |", cycles);
+  std::printf("\n");
+  printRule(70);
+
+  struct M {
+    const char* name;
+    gate::SeqNetlist machine;
+  };
+  std::vector<M> machines;
+  machines.push_back({"counter8", gate::makeCounter(8)});
+  machines.push_back({"lfsr8", gate::makeLfsr(8, 0b10111000)});
+  machines.push_back({"accum4", gate::makeAccumulator(4)});
+
+  for (auto& m : machines) {
+    std::printf("    %-12s |", m.name);
+    fault::LocalSeqFaultBlock probe(m.machine);
+    std::printf(" %7zu |", probe.faultList().size());
+    for (int cycles : {2, 5, 10, 20, 40}) {
+      fault::LocalSeqFaultBlock block(m.machine);
+      const auto res = fault::runSeqCampaign(
+          block, stimulus(m.machine.inputBits(), cycles, 7));
+      std::printf(" %7.1f%% |", 100 * res.coverage());
+    }
+    std::printf("\n");
+  }
+}
+
+void remoteProtocolCost() {
+  std::printf("\n[2] remote shadow-machine protocol cost (counter8, 20 "
+              "cycles)\n");
+  std::printf("    %-10s | %9s | %10s | %14s | %10s\n", "profile", "RMI calls",
+              "bytes", "sim stall (ms)", "coverage");
+  printRule(70);
+  for (const auto& profile :
+       {net::NetworkProfile::localhost(), net::NetworkProfile::lan(),
+        net::NetworkProfile::wan()}) {
+    ip::ProviderServer server("seq.provider", nullptr);
+    ip::IpComponentSpec spec;
+    spec.name = "CounterIp";
+    spec.minWidth = 1;
+    spec.maxWidth = 16;
+    spec.testability = ip::ModelLevel::Dynamic;
+    server.registerSequentialComponent(spec, [](std::uint64_t w) {
+      return gate::makeCounter(static_cast<int>(w));
+    });
+    rmi::RmiChannel channel(server, profile);
+    ip::ProviderHandle provider(channel);
+    ip::RemoteSeqFaultClient remote(provider, "CounterIp", 8);
+    const auto before = channel.stats();
+    const auto res = fault::runSeqCampaign(remote, stimulus(1, 20, 7));
+    const auto after = channel.stats();
+    std::printf("    %-10s | %9llu | %10llu | %14.2f | %9.1f%%\n",
+                profile.name.c_str(),
+                static_cast<unsigned long long>(after.calls - before.calls),
+                static_cast<unsigned long long>(
+                    after.bytesSent + after.bytesReceived - before.bytesSent -
+                    before.bytesReceived),
+                (after.blockingWallSec - before.blockingWallSec) * 1e3,
+                100 * res.coverage());
+  }
+}
+
+void faultDropping() {
+  std::printf("\n[3] sequential fault dropping\n");
+  const gate::SeqNetlist machine = gate::makeLfsr(8, 0b10111000);
+  fault::LocalSeqFaultBlock block(machine);
+  const int cycles = 40;
+  const auto res = fault::runSeqCampaign(block, stimulus(1, cycles, 11));
+  const std::uint64_t naive =
+      static_cast<std::uint64_t>(res.faultList.size()) * cycles;
+  std::printf("    shadow steps executed : %llu of naive bound %llu "
+              "(%.0f%% saved by dropping at first divergence)\n",
+              static_cast<unsigned long long>(res.faultySteps),
+              static_cast<unsigned long long>(naive),
+              100.0 * (1.0 - static_cast<double>(res.faultySteps) /
+                                 static_cast<double>(naive)));
+}
+
+void BM_SeqCampaignLocal(benchmark::State& state) {
+  const gate::SeqNetlist machine =
+      gate::makeCounter(static_cast<int>(state.range(0)));
+  const auto seq = stimulus(1, 20, 5);
+  for (auto _ : state) {
+    fault::LocalSeqFaultBlock block(machine);
+    benchmark::DoNotOptimize(fault::runSeqCampaign(block, seq).coverage());
+  }
+}
+BENCHMARK(BM_SeqCampaignLocal)->Arg(4)->Arg(8)->Arg(12)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vcad::bench
+
+int main(int argc, char** argv) {
+  std::printf("\nSequential virtual fault simulation (paper extension)\n");
+  vcad::bench::coverageVsCycles();
+  vcad::bench::remoteProtocolCost();
+  vcad::bench::faultDropping();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Table 2 of the paper: CPU and real (wall) time for simulating 100 random
+// patterns through the Figure 2 circuit with a pattern buffer of five, in
+// three configurations (all local / estimator remote / multiplier remote)
+// over three network environments (localhost / LAN / WAN).
+//
+// Our substrate is a simulated network on one machine, so absolute seconds
+// differ from the Sun UltraSparc numbers; the *shape* is the claim under
+// test:
+//   - ER adds almost nothing to AL's CPU time;
+//   - MR's CPU time is a large multiple of AL's (argument marshalling at
+//     every event);
+//   - CPU time is independent of the network environment;
+//   - real time grows with network distance, dominated by the WAN;
+//   - the MR run on the shared localhost is SLOWER in real time than over
+//     the LAN (host contention), the paper's counter-intuitive data point.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace vcad::bench {
+namespace {
+
+constexpr std::size_t kPatterns = 100;
+constexpr std::size_t kBuffer = 5;
+constexpr int kRepeats = 12;
+
+struct Row {
+  const char* design;
+  const char* host;
+  Scenario scenario;
+  net::NetworkProfile profile;
+  double paperCpuSec;
+  double paperRealSec;
+};
+
+Figure2Run::Result averagedRun(Scenario s, const net::NetworkProfile& p) {
+  Figure2Run run(s, p, kPatterns, kBuffer);
+  (void)run.run(2);  // warm-up
+  return run.run(kRepeats);
+}
+
+void printTable2() {
+  const std::vector<Row> rows = {
+      {"All local", "NA", Scenario::AllLocal, net::NetworkProfile::ideal(), 13,
+       15},
+      {"Estimator remote", "Local", Scenario::EstimatorRemote,
+       net::NetworkProfile::localhost(), 14, 21},
+      {"Multiplier remote", "Local", Scenario::MultiplierRemote,
+       net::NetworkProfile::localhost(), 38, 87},
+      {"Estimator remote", "LAN", Scenario::EstimatorRemote,
+       net::NetworkProfile::lan(), 14, 32},
+      {"Multiplier remote", "LAN", Scenario::MultiplierRemote,
+       net::NetworkProfile::lan(), 38, 65},
+      {"Estimator remote", "WAN", Scenario::EstimatorRemote,
+       net::NetworkProfile::wan(), 14, 168},
+      {"Multiplier remote", "WAN", Scenario::MultiplierRemote,
+       net::NetworkProfile::wan(), 38, 407},
+  };
+
+  std::printf("\nTable 2 — %zu random patterns, pattern buffer %zu "
+              "(paper: Sun UltraSparc 1 seconds; here: measured client CPU + "
+              "simulated network/server stall, milliseconds)\n\n",
+              kPatterns, kBuffer);
+  std::printf("%-19s %-6s | %12s %12s | %14s %14s | %9s %9s\n", "Design",
+              "Host", "paper CPU(s)", "paper real(s)", "meas CPU(ms)",
+              "meas real(ms)", "RMI calls", "bytes");
+  printRule(110);
+
+  double alCpu = 0, alReal = 0;
+  std::vector<Figure2Run::Result> results;
+  for (const Row& row : rows) {
+    const auto res = averagedRun(row.scenario, row.profile);
+    results.push_back(res);
+    if (row.scenario == Scenario::AllLocal) {
+      alCpu = res.clientCpuSec;
+      alReal = res.realSec;
+    }
+    std::printf("%-19s %-6s | %12.0f %12.0f | %14.3f %14.3f | %9llu %9llu\n",
+                row.design, row.host, row.paperCpuSec, row.paperRealSec,
+                res.clientCpuSec * 1e3, res.realSec * 1e3,
+                static_cast<unsigned long long>(res.rmiCalls),
+                static_cast<unsigned long long>(res.bytes));
+  }
+  printRule(110);
+
+  // --- shape checks --------------------------------------------------------
+  const auto& erLocal = results[1];
+  const auto& mrLocal = results[2];
+  const auto& erLan = results[3];
+  const auto& mrLan = results[4];
+  const auto& erWan = results[5];
+  const auto& mrWan = results[6];
+  std::printf("\nshape checks (paper claim -> measured):\n");
+  std::printf("  ER CPU ~= AL CPU (14 vs 13)        : %.3f vs %.3f ms -> %s\n",
+              erWan.clientCpuSec * 1e3, alCpu * 1e3,
+              erWan.clientCpuSec < 2.0 * alCpu + 1e-3 ? "OK" : "VIOLATED");
+  std::printf("  MR CPU >> AL CPU (38 vs 13, ~2.9x) : %.1fx -> %s\n",
+              mrWan.clientCpuSec / alCpu,
+              mrWan.clientCpuSec > 1.5 * alCpu ? "OK" : "VIOLATED");
+  const double cpuSpread =
+      std::abs(mrLocal.clientCpuSec - mrWan.clientCpuSec) /
+      std::max(mrLocal.clientCpuSec, mrWan.clientCpuSec);
+  std::printf("  MR CPU independent of network      : spread %.0f%% -> %s\n",
+              100 * cpuSpread, cpuSpread < 0.5 ? "OK" : "VIOLATED");
+  std::printf("  real time: WAN > LAN (ER)          : %.1f > %.1f ms -> %s\n",
+              erWan.realSec * 1e3, erLan.realSec * 1e3,
+              erWan.realSec > erLan.realSec ? "OK" : "VIOLATED");
+  std::printf("  real time: WAN > LAN (MR)          : %.1f > %.1f ms -> %s\n",
+              mrWan.realSec * 1e3, mrLan.realSec * 1e3,
+              mrWan.realSec > mrLan.realSec ? "OK" : "VIOLATED");
+  std::printf("  MR local real > MR LAN real (87>65): %.1f > %.1f ms -> %s\n",
+              mrLocal.realSec * 1e3, mrLan.realSec * 1e3,
+              mrLocal.realSec > mrLan.realSec ? "OK" : "VIOLATED");
+  std::printf("  AL real ~ AL CPU (15 vs 13)        : %.3f vs %.3f ms -> %s\n",
+              alReal * 1e3, alCpu * 1e3,
+              alReal < 1.2 * alCpu + 1e-3 ? "OK" : "VIOLATED");
+  (void)erLocal;
+}
+
+// Micro-benchmarks of the per-scenario simulation cost.
+void BM_Figure2(benchmark::State& state) {
+  const auto scenario = static_cast<Scenario>(state.range(0));
+  net::NetworkProfile profile = net::NetworkProfile::wan();
+  if (scenario == Scenario::AllLocal) profile = net::NetworkProfile::ideal();
+  for (auto _ : state) {
+    Figure2Run run(scenario, profile, kPatterns, kBuffer);
+    const auto res = run.run();
+    benchmark::DoNotOptimize(res.samples);
+    state.counters["sim_real_ms"] = res.realSec * 1e3;
+    state.counters["rmi_calls"] = static_cast<double>(res.rmiCalls);
+  }
+}
+BENCHMARK(BM_Figure2)
+    ->Arg(static_cast<int>(Scenario::AllLocal))
+    ->Arg(static_cast<int>(Scenario::EstimatorRemote))
+    ->Arg(static_cast<int>(Scenario::MultiplierRemote))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vcad::bench
+
+int main(int argc, char** argv) {
+  vcad::bench::printTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

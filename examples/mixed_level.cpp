@@ -1,0 +1,77 @@
+// Mixed-level system description: part of the design at the RTL (word
+// level), part at the gate level, bridged by interface modules — plus two
+// concurrent simulations of the same design running on separate threads
+// under different schedulers, without interference.
+//
+// Structure:  clock -> counter-ish RTL datapath -> word/bit Splitter ->
+//             gate-level parity tree -> bit/word Merger -> observer.
+#include <cstdio>
+
+#include "core/sim_controller.hpp"
+#include "core/wiring.hpp"
+#include "gate/generators.hpp"
+#include "gate/netlist_module.hpp"
+#include "rtl/modules.hpp"
+
+using namespace vcad;
+
+int main() {
+  const int width = 8;
+  const std::size_t nPatterns = 64;
+
+  Circuit c("mixed");
+
+  // RTL region: random stimulus through a register.
+  Connector& raw = c.makeWord(width, "raw");
+  Connector& reg = c.makeWord(width, "reg");
+  c.make<rtl::RandomPrimaryInput>("SRC", width, raw, nPatterns, 10, 0xC0FFEE);
+  c.make<rtl::Register>("REG", raw, reg);
+
+  // Interface: explode the word into bits for the gate-level region.
+  std::vector<Connector*> bits;
+  for (int i = 0; i < width; ++i) {
+    bits.push_back(&c.makeBit("bit" + std::to_string(i)));
+  }
+  c.make<rtl::Splitter>("SPLIT", reg, bits);
+
+  // Gate-level region: a parity tree netlist.
+  auto parity = std::make_shared<const gate::Netlist>(
+      gate::makeParityTree(width));
+  Connector& parityOut = c.makeBit("parity");
+  auto& parityMod = static_cast<gate::NetlistModule&>(
+      c.adopt(gate::makeBitLevelModule("PARITY", parity, bits, {&parityOut})));
+
+  // Back to the word level for observation.
+  Connector& parityWord = c.makeWord(1, "parityWord");
+  c.make<Buffer>("BR", parityOut, parityWord);
+  auto& out = c.make<rtl::PrimaryOutput>("OUT", parityWord);
+
+  // --- two concurrent simulations over the same design ------------------
+  SimulationController simA(c);
+  SimulationController simB(c);
+  runConcurrently({&simA, &simB});
+
+  SimContext ctxA{simA.scheduler(), nullptr};
+  SimContext ctxB{simB.scheduler(), nullptr};
+  std::printf("scheduler A: %zu parity samples, %llu netlist evaluations\n",
+              out.sampleCount(ctxA),
+              static_cast<unsigned long long>(parityMod.evaluations(ctxA)));
+  std::printf("scheduler B: %zu parity samples, %llu netlist evaluations\n",
+              out.sampleCount(ctxB),
+              static_cast<unsigned long long>(parityMod.evaluations(ctxB)));
+
+  // The two runs used the same seed, so their streams must agree — proof
+  // that per-scheduler state lookup tables kept them from interfering.
+  const auto& ha = out.history(ctxA);
+  const auto& hb = out.history(ctxB);
+  bool identical = ha.size() == hb.size();
+  for (size_t i = 0; identical && i < ha.size(); ++i) {
+    identical = ha[i].value == hb[i].value;
+  }
+  std::printf("concurrent runs identical: %s\n", identical ? "yes" : "NO");
+
+  std::printf("gate-level activity: %llu net toggles, %.2f pJ switched\n",
+              static_cast<unsigned long long>(parityMod.netToggles(ctxA)),
+              parityMod.switchingEnergyPj(ctxA));
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Event-driven timing simulation: a netlist expanded into per-gate modules
+// with transport delays, showing signal ripple and a real hazard (glitch),
+// with the waveforms exported to VCD.
+//
+// Circuit: a 4-bit ripple-carry adder. A single low-bit input change makes
+// the carry chain ripple across the slice delays; the sum bits glitch
+// through intermediate values before settling — visible in the VCD.
+#include <cstdio>
+
+#include "core/sim_controller.hpp"
+#include "core/wiring.hpp"
+#include "gate/gate_module.hpp"
+#include "gate/generators.hpp"
+#include "rtl/modules.hpp"
+#include "rtl/vcd.hpp"
+
+using namespace vcad;
+
+int main() {
+  const int w = 4;
+  const gate::Netlist adder = gate::makeRippleCarryAdder(w);
+
+  Circuit top("timing");
+  auto exp = gate::expandNetlist(top, adder, /*delay=*/2);
+
+  // Observe each sum bit and the carry with history probes.
+  std::vector<rtl::PrimaryOutput*> probes;
+  for (size_t i = 0; i < exp.outputs.size(); ++i) {
+    auto& tapConn = top.makeBit("tap" + std::to_string(i));
+    top.make<Buffer>("tapbuf" + std::to_string(i), *exp.outputs[i], tapConn);
+    probes.push_back(
+        &top.make<rtl::PrimaryOutput>("probe" + std::to_string(i), tapConn));
+  }
+
+  SimulationController sim(top);
+  auto applyOperands = [&](std::uint64_t a, std::uint64_t b) {
+    for (int i = 0; i < w; ++i) {
+      sim.inject(*exp.inputs[static_cast<size_t>(i)],
+                 Word::fromLogic(fromBool(((a >> i) & 1) != 0)));
+      sim.inject(*exp.inputs[static_cast<size_t>(w + i)],
+                 Word::fromLogic(fromBool(((b >> i) & 1) != 0)));
+    }
+    sim.start();
+  };
+
+  applyOperands(0b0111, 0b0001);  // 7 + 1: full carry ripple when b0 set
+  std::printf("7 + 1 settled at t=%llu (carry ripples one slice per 2-tick "
+              "gate delay)\n",
+              static_cast<unsigned long long>(sim.scheduler().now()));
+
+  applyOperands(0b0111, 0b0000);  // drop b0: ripple back
+  applyOperands(0b1111, 0b0001);  // 15 + 1: the longest carry chain
+  std::printf("15 + 1 settled at t=%llu\n",
+              static_cast<unsigned long long>(sim.scheduler().now()));
+
+  SimContext ctx{sim.scheduler(), nullptr};
+  std::size_t transitions = 0;
+  for (auto* p : probes) transitions += p->sampleCount(ctx);
+  std::printf("observed %zu output transitions across %zu nets (glitches "
+              "included)\n",
+              transitions, probes.size());
+
+  rtl::VcdWriter vcd("1ns");
+  const char* names[] = {"s0", "s1", "s2", "s3", "cout"};
+  for (size_t i = 0; i < probes.size(); ++i) {
+    vcd.addTrack(names[i], *probes[i], ctx);
+  }
+  vcd.writeFile("timing_waves.vcd");
+  std::printf("waveforms written to timing_waves.vcd\n");
+
+  // Show the final sum is correct despite all the rippling.
+  Word sum(static_cast<int>(probes.size()));
+  for (size_t i = 0; i < probes.size(); ++i) {
+    sum.setBit(static_cast<int>(i), probes[i]->last(ctx).scalar());
+  }
+  std::printf("final outputs (cout s3..s0): %s  (15 + 1 = 16)\n",
+              sum.toString().c_str());
+  return sum.toUint() == 16 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "core/circuit.hpp"
+
+#include <stdexcept>
+
+namespace vcad {
+
+Circuit::Circuit(std::string name) : Module(std::move(name)) {}
+
+Circuit::~Circuit() = default;
+
+Module& Circuit::adopt(std::unique_ptr<Module> module) {
+  if (!module) {
+    throw std::invalid_argument("Circuit::adopt: null module");
+  }
+  submodules_.push_back(std::move(module));
+  return *submodules_.back();
+}
+
+Connector& Circuit::makeBit(std::string connName) {
+  connectors_.push_back(std::make_unique<BitConnector>(std::move(connName)));
+  return *connectors_.back();
+}
+
+Connector& Circuit::makeWord(int width, std::string connName) {
+  connectors_.push_back(
+      std::make_unique<WordConnector>(width, std::move(connName)));
+  return *connectors_.back();
+}
+
+Module* Circuit::findChild(const std::string& childName) const {
+  for (const auto& m : submodules_) {
+    if (m->name() == childName) return m.get();
+  }
+  return nullptr;
+}
+
+void Circuit::visitLeaves(const std::function<void(Module&)>& fn) {
+  for (const auto& m : submodules_) {
+    m->visitLeaves(fn);
+  }
+}
+
+void Circuit::clearSchedulerState(std::uint32_t schedulerId) {
+  visitLeaves([&](Module& m) { m.clearStateFor(schedulerId); });
+  clearConnectorValues(schedulerId);
+}
+
+void Circuit::clearConnectorValues(std::uint32_t schedulerId) {
+  for (const auto& conn : connectors_) conn->clearValue(schedulerId);
+  for (const auto& m : submodules_) {
+    if (auto* sub = dynamic_cast<Circuit*>(m.get())) {
+      sub->clearConnectorValues(schedulerId);
+    }
+  }
+}
+
+std::size_t Circuit::leafCount() {
+  std::size_t n = 0;
+  visitLeaves([&](Module&) { ++n; });
+  return n;
+}
+
+}  // namespace vcad

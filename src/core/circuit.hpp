@@ -1,0 +1,74 @@
+// Circuit: a hierarchical collection of interconnected components.
+//
+// A circuit owns its submodules and connectors. Circuits are modules
+// themselves, so designs nest arbitrarily; hierarchy levels are wired
+// together with Buffer bridge modules (see wiring.hpp), keeping connector
+// semantics strictly point-to-point at every level.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/connector.hpp"
+#include "core/module.hpp"
+
+namespace vcad {
+
+class Circuit : public Module {
+ public:
+  explicit Circuit(std::string name);
+  ~Circuit() override;
+
+  /// Constructs a submodule in place and takes ownership. Returns a
+  /// reference with the concrete type, so wiring code stays readable:
+  ///   auto& reg = c.make<Register>("REGA", width, A, AR);
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    adopt(std::move(owned));
+    return ref;
+  }
+
+  /// Takes ownership of an externally constructed module.
+  Module& adopt(std::unique_ptr<Module> module);
+
+  /// Creates and owns a single-bit connector.
+  Connector& makeBit(std::string name = "");
+
+  /// Creates and owns a word connector of the given width.
+  Connector& makeWord(int width, std::string name = "");
+
+  const std::vector<std::unique_ptr<Module>>& submodules() const {
+    return submodules_;
+  }
+  const std::vector<std::unique_ptr<Connector>>& connectors() const {
+    return connectors_;
+  }
+
+  /// Direct child by name; nullptr when absent.
+  Module* findChild(const std::string& childName) const;
+
+  /// Recursive leaf iteration (depth first). The circuit itself is not a
+  /// leaf; only behavioural modules are visited.
+  void visitLeaves(const std::function<void(Module&)>& fn) override;
+
+  /// Total number of leaf modules in the subtree.
+  std::size_t leafCount();
+
+  /// Releases everything one scheduler stored in this subtree (module state
+  /// and connector values). Call after a short-lived simulation run so
+  /// per-scheduler lookup tables stay bounded during large campaigns.
+  void clearSchedulerState(std::uint32_t schedulerId);
+
+ private:
+  void clearConnectorValues(std::uint32_t schedulerId);
+
+  std::vector<std::unique_ptr<Module>> submodules_;
+  std::vector<std::unique_ptr<Connector>> connectors_;
+};
+
+}  // namespace vcad

@@ -1,0 +1,80 @@
+#include "core/connector.hpp"
+
+#include <stdexcept>
+
+namespace vcad {
+
+Connector::Connector(int width, std::string name)
+    : width_(width), name_(std::move(name)) {
+  if (width <= 0 || width > Word::kMaxWidth) {
+    throw std::invalid_argument("Connector width out of range: " +
+                                std::to_string(width));
+  }
+}
+
+void Connector::attach(Port& port) {
+  if (port.width() != width_) {
+    throw std::invalid_argument("Connector '" + name_ + "' width " +
+                                std::to_string(width_) +
+                                " does not match port " + port.fullName() +
+                                " width " + std::to_string(port.width()));
+  }
+  if (endpoints_.size() >= 2) {
+    throw std::logic_error("Connector '" + name_ +
+                           "' is point-to-point: already has two endpoints");
+  }
+  if (port.connector() != nullptr) {
+    throw std::logic_error("Port " + port.fullName() +
+                           " is already attached to a connector");
+  }
+  if (endpoints_.size() == 1) {
+    const Port& other = *endpoints_.front();
+    const bool bothPureIn =
+        other.dir() == PortDir::In && port.dir() == PortDir::In;
+    const bool bothPureOut =
+        other.dir() == PortDir::Out && port.dir() == PortDir::Out;
+    if (bothPureIn || bothPureOut) {
+      throw std::logic_error("Connector '" + name_ +
+                             "' would tie two ports of the same direction: " +
+                             other.fullName() + " and " + port.fullName());
+    }
+  }
+  endpoints_.push_back(&port);
+  port.connector_ = this;
+}
+
+Port* Connector::peerOf(const Port& port) const {
+  for (Port* p : endpoints_) {
+    if (p != &port) return p;
+  }
+  return nullptr;
+}
+
+Word Connector::value(std::uint32_t schedulerId) const {
+  std::lock_guard<std::mutex> lock(valuesMutex_);
+  auto it = values_.find(schedulerId);
+  return it != values_.end() ? it->second : Word::allX(width_);
+}
+
+void Connector::setValue(std::uint32_t schedulerId, const Word& w) {
+  if (w.width() != width_) {
+    throw std::invalid_argument("Connector '" + name_ + "': value width " +
+                                std::to_string(w.width()) +
+                                " does not match connector width " +
+                                std::to_string(width_));
+  }
+  std::lock_guard<std::mutex> lock(valuesMutex_);
+  values_[schedulerId] = w;
+}
+
+void Connector::clearValue(std::uint32_t schedulerId) {
+  std::lock_guard<std::mutex> lock(valuesMutex_);
+  values_.erase(schedulerId);
+}
+
+void Connector::clearAllValues() {
+  std::lock_guard<std::mutex> lock(valuesMutex_);
+  values_.clear();
+}
+
+}  // namespace vcad

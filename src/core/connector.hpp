@@ -1,0 +1,79 @@
+// Connectors tie two ports together and forward events between modules.
+//
+// A connector is a point-to-point, zero-delay link: exactly one driving
+// endpoint and one receiving endpoint (bidirectional ports may play either
+// role). Multi-fanout nets and net delays are modelled by explicit modules
+// (see fanout.hpp), which keeps the connector semantics trivial and lets a
+// designer give different delays to different fanout branches.
+//
+// The connector also holds the *current value* of the link — independently
+// for every scheduler, so concurrent simulations of the same design never
+// interfere.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/port.hpp"
+#include "core/word.hpp"
+
+namespace vcad {
+
+class Connector {
+ public:
+  explicit Connector(int width, std::string name = "");
+  virtual ~Connector() = default;
+
+  Connector(const Connector&) = delete;
+  Connector& operator=(const Connector&) = delete;
+
+  int width() const { return width_; }
+  const std::string& name() const { return name_; }
+
+  /// Attaches a port. A connector accepts at most two endpoints; width must
+  /// match; at most one pure-In and one pure-Out endpoint make sense, and
+  /// two pure-In or two pure-Out endpoints are rejected.
+  void attach(Port& port);
+
+  /// The endpoint on the other side of `port`, or nullptr if the connector
+  /// is open-ended.
+  Port* peerOf(const Port& port) const;
+
+  const std::vector<Port*>& endpoints() const { return endpoints_; }
+
+  /// Current value as observed by scheduler `schedulerId`; all-X before the
+  /// first event of that scheduler.
+  Word value(std::uint32_t schedulerId) const;
+  void setValue(std::uint32_t schedulerId, const Word& w);
+
+  /// Drops the per-scheduler value of one scheduler (used when a scheduler
+  /// is destroyed) or of all schedulers.
+  void clearValue(std::uint32_t schedulerId);
+  void clearAllValues();
+
+ private:
+  int width_;
+  std::string name_;
+  std::vector<Port*> endpoints_;
+
+  mutable std::mutex valuesMutex_;
+  std::unordered_map<std::uint32_t, Word> values_;
+};
+
+/// Single-bit connector for gate-level links.
+class BitConnector final : public Connector {
+ public:
+  explicit BitConnector(std::string name = "") : Connector(1, std::move(name)) {}
+};
+
+/// Multi-bit connector for word-level (RTL) links.
+class WordConnector final : public Connector {
+ public:
+  explicit WordConnector(int width, std::string name = "")
+      : Connector(width, std::move(name)) {}
+};
+
+}  // namespace vcad

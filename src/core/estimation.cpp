@@ -1,0 +1,29 @@
+#include "core/estimation.hpp"
+
+namespace vcad {
+
+std::string toString(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::Area:
+      return "area";
+    case ParamKind::Delay:
+      return "delay";
+    case ParamKind::AvgPower:
+      return "avg_power";
+    case ParamKind::PeakPower:
+      return "peak_power";
+    case ParamKind::IoActivity:
+      return "io_activity";
+    case ParamKind::Testability:
+      return "testability";
+  }
+  return "unknown";
+}
+
+const std::shared_ptr<Estimator>& NullEstimator::instance() {
+  static const std::shared_ptr<Estimator> kInstance =
+      std::make_shared<NullEstimator>();
+  return kInstance;
+}
+
+}  // namespace vcad

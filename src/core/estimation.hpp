@@ -1,0 +1,130 @@
+// Estimation interfaces of the backplane (the JFP "estimation package").
+//
+// Cost and performance metrics (area, delay, power, ...) are *parameters*.
+// An *estimator* evaluates a parameter's actual value; it has a unique name,
+// an expected accuracy, a monetary cost, and an expected CPU time, so users
+// can trade accuracy against cost and speed. A given component can register
+// several candidate estimators for the same parameter; a *setup controller*
+// (see setup.hpp) selects which one each module actually uses.
+//
+// Concrete estimators (constant, linear regression, gate-level toggle count)
+// live in src/estim; the detection table used by virtual fault simulation is
+// itself a ParamValue subclass and lives in src/fault.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/word.hpp"
+
+namespace vcad {
+
+class Module;
+class Scheduler;
+class SetupController;
+
+/// The cost/performance metrics JavaCAD calls "parameters".
+enum class ParamKind {
+  Area,
+  Delay,
+  AvgPower,
+  PeakPower,
+  IoActivity,
+  Testability,  // detection tables for virtual fault simulation
+};
+
+std::string toString(ParamKind kind);
+
+/// Polymorphic value produced by an estimator.
+class ParamValue {
+ public:
+  virtual ~ParamValue() = default;
+  virtual bool isNull() const { return false; }
+  virtual std::string toString() const = 0;
+  /// Numeric view; throws std::logic_error if the value is not scalar.
+  virtual double asDouble() const {
+    throw std::logic_error("ParamValue is not scalar: " + toString());
+  }
+};
+
+/// The "proper null value" the default null estimator returns.
+class NullValue final : public ParamValue {
+ public:
+  bool isNull() const override { return true; }
+  std::string toString() const override { return "null"; }
+  double asDouble() const override { return 0.0; }
+};
+
+/// A plain scalar metric with a unit, e.g. {25.0, "mW"}.
+class ScalarValue final : public ParamValue {
+ public:
+  ScalarValue(double value, std::string unit)
+      : value_(value), unit_(std::move(unit)) {}
+  std::string toString() const override {
+    return std::to_string(value_) + " " + unit_;
+  }
+  double asDouble() const override { return value_; }
+  const std::string& unit() const { return unit_; }
+
+ private:
+  double value_;
+  std::string unit_;
+};
+
+/// Static metadata that lets the user choose among candidate estimators.
+struct EstimatorInfo {
+  std::string name;
+  double expectedErrorPct = 0.0;    // advertised average error
+  double costPerUseCents = 0.0;     // fee charged by the provider per use
+  double expectedCpuSecs = 0.0;     // advertised CPU time per use
+  bool remote = false;              // must run on the provider's server
+  bool unpredictableLatency = false;  // the Table-1 footnote flag: Internet
+                                      // round trips may add unbounded time
+};
+
+/// Everything an estimator may look at when evaluating a parameter.
+///
+/// For dynamic (simulation-driven) estimation, `patternHistory` holds the
+/// sequence of input words observed at the module's inputs since the last
+/// estimate (the "pattern buffer" of the paper).
+struct EstimationContext {
+  Module* module = nullptr;
+  Scheduler* scheduler = nullptr;
+  const SetupController* setup = nullptr;
+  const std::vector<Word>* patternHistory = nullptr;
+};
+
+/// Base class for all estimators (JFP EstimatorSkeleton). Providers derive
+/// from this and override estimate().
+class Estimator {
+ public:
+  explicit Estimator(EstimatorInfo info) : info_(std::move(info)) {}
+  virtual ~Estimator() = default;
+
+  const EstimatorInfo& info() const { return info_; }
+  const std::string& name() const { return info_.name; }
+
+  virtual std::unique_ptr<ParamValue> estimate(const EstimationContext& ctx) = 0;
+
+ private:
+  EstimatorInfo info_;
+};
+
+/// Default estimator bound when setup requirements cannot be satisfied:
+/// always returns a null value, which (a) permits partial estimation of only
+/// the modules of interest and (b) lets simulation proceed for modules that
+/// have no estimator at all.
+class NullEstimator final : public Estimator {
+ public:
+  NullEstimator() : Estimator(EstimatorInfo{"null", 100.0, 0.0, 0.0, false, false}) {}
+  std::unique_ptr<ParamValue> estimate(const EstimationContext&) override {
+    return std::make_unique<NullValue>();
+  }
+  /// Shared instance; the null estimator is stateless.
+  static const std::shared_ptr<Estimator>& instance();
+};
+
+}  // namespace vcad

@@ -1,0 +1,55 @@
+// Small thread-safe diagnostic log used by the framework for warnings
+// (e.g. a setup request that falls back to the null estimator) and for the
+// security audit trail of the RMI layer.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vcad {
+
+enum class Severity { Info, Warning, Error, Security };
+
+struct LogEntry {
+  Severity severity;
+  std::string message;
+};
+
+class LogSink {
+ public:
+  void log(Severity s, std::string msg) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(LogEntry{s, std::move(msg)});
+  }
+
+  void info(std::string msg) { log(Severity::Info, std::move(msg)); }
+  void warning(std::string msg) { log(Severity::Warning, std::move(msg)); }
+  void error(std::string msg) { log(Severity::Error, std::move(msg)); }
+  void security(std::string msg) { log(Severity::Security, std::move(msg)); }
+
+  std::vector<LogEntry> entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+  }
+
+  std::size_t count(Severity s) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& e : entries_) {
+      if (e.severity == s) ++n;
+    }
+    return n;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace vcad

@@ -1,0 +1,79 @@
+#include "core/logic.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace vcad {
+
+namespace {
+// Z participating in a logic operation behaves as X.
+constexpr Logic norm(Logic v) { return v == Logic::Z ? Logic::X : v; }
+}  // namespace
+
+Logic logicNot(Logic a) {
+  switch (norm(a)) {
+    case Logic::L0:
+      return Logic::L1;
+    case Logic::L1:
+      return Logic::L0;
+    default:
+      return Logic::X;
+  }
+}
+
+Logic logicAnd(Logic a, Logic b) {
+  if (norm(a) == Logic::L0 || norm(b) == Logic::L0) return Logic::L0;
+  if (norm(a) == Logic::L1 && norm(b) == Logic::L1) return Logic::L1;
+  return Logic::X;
+}
+
+Logic logicOr(Logic a, Logic b) {
+  if (norm(a) == Logic::L1 || norm(b) == Logic::L1) return Logic::L1;
+  if (norm(a) == Logic::L0 && norm(b) == Logic::L0) return Logic::L0;
+  return Logic::X;
+}
+
+Logic logicXor(Logic a, Logic b) {
+  if (!isKnown(norm(a)) || !isKnown(norm(b))) return Logic::X;
+  return fromBool(toBool(a) != toBool(b));
+}
+
+Logic logicNand(Logic a, Logic b) { return logicNot(logicAnd(a, b)); }
+Logic logicNor(Logic a, Logic b) { return logicNot(logicOr(a, b)); }
+Logic logicXnor(Logic a, Logic b) { return logicNot(logicXor(a, b)); }
+Logic logicBuf(Logic a) { return norm(a); }
+
+char toChar(Logic v) {
+  switch (v) {
+    case Logic::L0:
+      return '0';
+    case Logic::L1:
+      return '1';
+    case Logic::X:
+      return 'X';
+    case Logic::Z:
+      return 'Z';
+  }
+  return '?';
+}
+
+Logic logicFromChar(char c) {
+  switch (c) {
+    case '0':
+      return Logic::L0;
+    case '1':
+      return Logic::L1;
+    case 'x':
+    case 'X':
+      return Logic::X;
+    case 'z':
+    case 'Z':
+      return Logic::Z;
+    default:
+      throw std::invalid_argument(std::string("bad logic char: ") + c);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Logic v) { return os << toChar(v); }
+
+}  // namespace vcad

@@ -1,0 +1,54 @@
+// Four-valued logic scalar used by the gate-level abstraction of the
+// simulation backplane.
+//
+// The value set follows the classic simulator convention:
+//   L0 - strong logic zero
+//   L1 - strong logic one
+//   X  - unknown / uninitialized
+//   Z  - high impedance (undriven net)
+//
+// Boolean operators implement the standard pessimistic 4-valued algebra:
+// a controlling value (0 for AND, 1 for OR) dominates X/Z inputs, and Z
+// degrades to X whenever it participates in a logic operation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace vcad {
+
+enum class Logic : std::uint8_t {
+  L0 = 0,
+  L1 = 1,
+  X = 2,
+  Z = 3,
+};
+
+/// True iff the value is a strong 0 or 1.
+constexpr bool isKnown(Logic v) { return v == Logic::L0 || v == Logic::L1; }
+
+/// Converts a bool into the corresponding strong logic value.
+constexpr Logic fromBool(bool b) { return b ? Logic::L1 : Logic::L0; }
+
+/// Converts a strong logic value to bool. Precondition: isKnown(v).
+constexpr bool toBool(Logic v) { return v == Logic::L1; }
+
+Logic logicNot(Logic a);
+Logic logicAnd(Logic a, Logic b);
+Logic logicOr(Logic a, Logic b);
+Logic logicXor(Logic a, Logic b);
+Logic logicNand(Logic a, Logic b);
+Logic logicNor(Logic a, Logic b);
+Logic logicXnor(Logic a, Logic b);
+Logic logicBuf(Logic a);
+
+/// One-character display form: '0', '1', 'X', 'Z'.
+char toChar(Logic v);
+
+/// Parses '0'/'1'/'x'/'X'/'z'/'Z'; throws std::invalid_argument otherwise.
+Logic logicFromChar(char c);
+
+std::ostream& operator<<(std::ostream& os, Logic v);
+
+}  // namespace vcad

@@ -1,0 +1,24 @@
+#include "core/port.hpp"
+
+#include "core/module.hpp"
+
+namespace vcad {
+
+std::string toString(PortDir dir) {
+  switch (dir) {
+    case PortDir::In:
+      return "in";
+    case PortDir::Out:
+      return "out";
+    case PortDir::InOut:
+      return "inout";
+  }
+  return "?";
+}
+
+Port::Port(Module& owner, std::string name, PortDir dir, int width)
+    : owner_(owner), name_(std::move(name)), dir_(dir), width_(width) {}
+
+std::string Port::fullName() const { return owner_.name() + "." + name_; }
+
+}  // namespace vcad

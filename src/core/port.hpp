@@ -1,0 +1,48 @@
+// Ports identify a module's connection points. A port is owned by exactly
+// one module, has a direction (input, output, or bidirectional) and a bit
+// width, and is attached to at most one connector.
+#pragma once
+
+#include <string>
+
+namespace vcad {
+
+class Module;
+class Connector;
+
+enum class PortDir { In, Out, InOut };
+
+std::string toString(PortDir dir);
+
+class Port {
+ public:
+  Port(Module& owner, std::string name, PortDir dir, int width);
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  Module& module() const { return owner_; }
+  const std::string& name() const { return name_; }
+  PortDir dir() const { return dir_; }
+  int width() const { return width_; }
+
+  bool canReceive() const { return dir_ != PortDir::Out; }
+  bool canDrive() const { return dir_ != PortDir::In; }
+
+  Connector* connector() const { return connector_; }
+  bool isConnected() const { return connector_ != nullptr; }
+
+  /// Full hierarchical-ish display name: "<module>.<port>".
+  std::string fullName() const;
+
+ private:
+  friend class Connector;  // sets connector_ during attach
+
+  Module& owner_;
+  std::string name_;
+  PortDir dir_;
+  int width_;
+  Connector* connector_ = nullptr;
+};
+
+}  // namespace vcad

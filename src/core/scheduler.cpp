@@ -1,0 +1,91 @@
+#include "core/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "core/module.hpp"
+
+namespace vcad {
+
+std::atomic<Scheduler::Id> Scheduler::nextId_{1};
+
+Scheduler::Scheduler() : id_(nextId_.fetch_add(1)) {}
+
+Scheduler::~Scheduler() {
+  while (!queue_.empty()) {
+    delete queue_.top().token;
+    queue_.pop();
+  }
+}
+
+void Scheduler::schedule(std::unique_ptr<Token> token, SimTime delay) {
+  if (!token) {
+    throw std::invalid_argument("Scheduler::schedule: null token");
+  }
+  const SimTime t = now_ + delay;
+  token->time_ = t;
+  queue_.push(Entry{t, seq_++, token.release()});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  Entry e = queue_.top();
+  queue_.pop();
+  std::unique_ptr<Token> token(e.token);
+  now_ = e.time;
+  ++dispatched_;
+  if (trace_ != nullptr) {
+    trace_->info("@" + std::to_string(now_) + " " + token->describe());
+  }
+  SimContext ctx{*this, setup_};
+  token->deliver(ctx);
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t maxEvents) {
+  std::size_t n = 0;
+  while (step()) {
+    if (++n > maxEvents) {
+      throw std::runtime_error(
+          "Scheduler::run exceeded event limit (combinational loop or "
+          "runaway self-trigger?)");
+    }
+  }
+  return n;
+}
+
+std::size_t Scheduler::runUntil(SimTime until, std::size_t maxEvents) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    step();
+    if (++n > maxEvents) {
+      throw std::runtime_error("Scheduler::runUntil exceeded event limit");
+    }
+  }
+  return n;
+}
+
+void Scheduler::setOutputOverride(const Module& module,
+                                  std::vector<OutputOverride> outputs) {
+  for (const auto& o : outputs) {
+    if (o.port == nullptr || !o.port->canDrive()) {
+      throw std::invalid_argument(
+          "setOutputOverride: override target must be a drivable port of "
+          "the module");
+    }
+  }
+  overrides_[&module] = std::move(outputs);
+}
+
+void Scheduler::clearOutputOverride(const Module& module) {
+  overrides_.erase(&module);
+}
+
+void Scheduler::clearAllOverrides() { overrides_.clear(); }
+
+const std::vector<Scheduler::OutputOverride>* Scheduler::findOverride(
+    const Module& module) const {
+  auto it = overrides_.find(&module);
+  return it != overrides_.end() ? &it->second : nullptr;
+}
+
+}  // namespace vcad

@@ -1,0 +1,120 @@
+// The event scheduler: handles scheduling and delivery of all tokens.
+//
+// Multiple schedulers can be instantiated and run in concurrent threads over
+// the same design without interference: all per-simulation state (connector
+// values, module internal state) is stored in lookup tables addressed by the
+// scheduler's unique id, and a module can only schedule a new token on the
+// scheduler that delivered the current one.
+//
+// The scheduler also implements the *output override* hook used by virtual
+// fault simulation: the simulation controller can replace a module's event
+// handling with a function that assigns a fixed (faulty) configuration to
+// the module's outputs regardless of its inputs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/log.hpp"
+#include "core/sim_time.hpp"
+#include "core/token.hpp"
+
+namespace vcad {
+
+class Module;
+class Port;
+class SetupController;
+
+class Scheduler {
+ public:
+  using Id = std::uint32_t;
+
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Id id() const { return id_; }
+  SimTime now() const { return now_; }
+
+  /// The setup in effect for tokens dispatched by this scheduler; passed to
+  /// modules in the SimContext of every delivery.
+  void setSetup(const SetupController* setup) { setup_ = setup; }
+  const SetupController* setup() const { return setup_; }
+
+  /// Event tracing: when a sink is installed, every delivered token is
+  /// logged as "@<time> <description>" (debugging aid; adds per-event
+  /// cost, leave off in benchmarks).
+  void setTraceSink(LogSink* sink) { trace_ = sink; }
+
+  /// Enqueues a token for delivery `delay` ticks from now. Zero-delay
+  /// tokens are delivered in FIFO order within the current tick.
+  void schedule(std::unique_ptr<Token> token, SimTime delay = 0);
+
+  /// Delivers the next pending token; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains. `maxEvents` guards against
+  /// divergence (e.g. combinational loops); throws std::runtime_error when
+  /// exceeded. Returns the number of tokens delivered by this call.
+  std::size_t run(std::size_t maxEvents = 100'000'000);
+
+  /// Runs while pending events have time <= `until`.
+  std::size_t runUntil(SimTime until, std::size_t maxEvents = 100'000'000);
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  // --- fault-injection support -------------------------------------------
+
+  /// One forced output assignment: when any signal event reaches `module`,
+  /// the scheduler drives `value` on `port` instead of invoking the module's
+  /// own event handling.
+  struct OutputOverride {
+    Port* port;
+    Word value;
+  };
+
+  void setOutputOverride(const Module& module,
+                         std::vector<OutputOverride> outputs);
+  void clearOutputOverride(const Module& module);
+  void clearAllOverrides();
+
+  /// Used by SignalToken::deliver: returns the override for `module`, or
+  /// nullptr when the module behaves normally under this scheduler.
+  const std::vector<OutputOverride>* findOverride(const Module& module) const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Token* token;  // owned; unique_ptr is not movable inside priority_queue
+                   // comparators on some implementations, so we manage
+                   // ownership manually and release in the destructor.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  static std::atomic<Id> nextId_;
+
+  Id id_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  const SetupController* setup_ = nullptr;
+  LogSink* trace_ = nullptr;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_map<const Module*, std::vector<OutputOverride>> overrides_;
+};
+
+}  // namespace vcad

@@ -1,0 +1,97 @@
+#include "core/setup.hpp"
+
+#include "core/module.hpp"
+
+namespace vcad {
+
+std::atomic<std::uint32_t> SetupController::nextId_{1};
+
+std::string toString(Criterion c) {
+  switch (c) {
+    case Criterion::BestAccuracy:
+      return "best-accuracy";
+    case Criterion::LowestCost:
+      return "lowest-cost";
+    case Criterion::FastestCpu:
+      return "fastest-cpu";
+    case Criterion::ByName:
+      return "by-name";
+  }
+  return "?";
+}
+
+SetupController::SetupController(LogSink* log)
+    : id_(nextId_.fetch_add(1)), log_(log) {}
+
+void SetupController::set(ParamKind kind, EstimatorChoice choice) {
+  criteria_[static_cast<int>(kind)] = std::move(choice);
+}
+
+bool SetupController::hasCriteria(ParamKind kind) const {
+  return criteria_.count(static_cast<int>(kind)) > 0;
+}
+
+std::shared_ptr<Estimator> SetupController::select(
+    const Module& module, ParamKind kind, const EstimatorChoice& choice) {
+  std::shared_ptr<Estimator> best;
+  for (const auto& cand : module.candidateEstimators(kind)) {
+    const EstimatorInfo& info = cand->info();
+    if (choice.criterion == Criterion::ByName && info.name != choice.name) {
+      continue;
+    }
+    if (info.costPerUseCents > choice.maxCostCents) continue;
+    if (info.expectedErrorPct > choice.maxErrorPct) continue;
+    if (info.remote && !choice.allowRemote) continue;
+    if (!best) {
+      best = cand;
+      continue;
+    }
+    const EstimatorInfo& b = best->info();
+    bool better = false;
+    switch (choice.criterion) {
+      case Criterion::BestAccuracy:
+        better = info.expectedErrorPct < b.expectedErrorPct;
+        break;
+      case Criterion::LowestCost:
+        better = info.costPerUseCents < b.costPerUseCents ||
+                 (info.costPerUseCents == b.costPerUseCents &&
+                  info.expectedErrorPct < b.expectedErrorPct);
+        break;
+      case Criterion::FastestCpu:
+        better = info.expectedCpuSecs < b.expectedCpuSecs ||
+                 (info.expectedCpuSecs == b.expectedCpuSecs &&
+                  info.expectedErrorPct < b.expectedErrorPct);
+        break;
+      case Criterion::ByName:
+        better = false;  // first name match wins
+        break;
+    }
+    if (better) best = cand;
+  }
+  return best;
+}
+
+std::size_t SetupController::apply(Module& top) {
+  std::size_t fallbacks = 0;
+  top.visitLeaves([&](Module& m) {
+    for (const auto& [kindInt, choice] : criteria_) {
+      const auto kind = static_cast<ParamKind>(kindInt);
+      std::shared_ptr<Estimator> est = select(m, kind, choice);
+      if (!est) {
+        ++fallbacks;
+        if (log_ != nullptr) {
+          log_->warning("setup " + std::to_string(id_) + ": no estimator for " +
+                        toString(kind) + " on module '" + m.name() +
+                        "' satisfies the request (criterion " +
+                        vcad::toString(choice.criterion) +
+                        "); binding null estimator");
+        }
+        est = NullEstimator::instance();
+      }
+      m.bindEstimator(id_, kind, std::move(est));
+    }
+  });
+  return fallbacks;
+}
+
+}  // namespace vcad

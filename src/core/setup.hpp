@@ -1,0 +1,91 @@
+// SetupController: specifies which parameters to evaluate and which
+// estimator each component must use (the paper's setup controller with its
+// two main methods, set() and apply()).
+//
+// set(param, choice) records the criteria for choosing the estimator of a
+// given parameter; apply(module) hierarchically applies the setup to a
+// module and all its submodules. If the requirements cannot be satisfied for
+// some component, a warning is logged and the default null estimator is
+// bound, which allows partial estimation and keeps the design simulatable.
+//
+// Multiple setups can coexist for the same design, and multiple simulations
+// with different setups can run concurrently on separate schedulers: each
+// module stores its bindings in a hash table keyed by the setup id.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/estimation.hpp"
+#include "core/log.hpp"
+
+namespace vcad {
+
+class Module;
+
+/// How to pick among a module's candidate estimators for one parameter.
+enum class Criterion {
+  BestAccuracy,  // minimize expected error
+  LowestCost,    // minimize monetary cost per use
+  FastestCpu,    // minimize expected CPU time
+  ByName,        // exact estimator name match
+};
+
+std::string toString(Criterion c);
+
+struct EstimatorChoice {
+  EstimatorChoice() = default;
+  explicit(false) EstimatorChoice(Criterion c) : criterion(c) {}
+
+  Criterion criterion = Criterion::BestAccuracy;
+  std::string name;  // only used with Criterion::ByName
+  // Hard constraints; candidates violating any of them are discarded.
+  double maxCostCents = std::numeric_limits<double>::infinity();
+  double maxErrorPct = std::numeric_limits<double>::infinity();
+  bool allowRemote = true;  // forbid estimators that need the provider server
+};
+
+class SetupController {
+ public:
+  explicit SetupController(LogSink* log = nullptr);
+
+  SetupController(const SetupController&) = delete;
+  SetupController& operator=(const SetupController&) = delete;
+
+  /// Unique id; modules key their estimator-binding hash tables with it.
+  std::uint32_t id() const { return id_; }
+
+  /// Records the selection criteria for one parameter.
+  void set(ParamKind kind, EstimatorChoice choice);
+
+  bool hasCriteria(ParamKind kind) const;
+  const std::map<int, EstimatorChoice>& criteria() const { return criteria_; }
+
+  /// Hierarchically applies this setup to `top` and every submodule: for
+  /// each requested parameter, selects the best candidate estimator
+  /// according to the criteria and binds it; falls back to the null
+  /// estimator (with a warning) when no candidate satisfies the request.
+  /// Returns the number of (module, parameter) pairs that fell back to null.
+  std::size_t apply(Module& top);
+
+  /// Selection for a single module/parameter; exposed for tests. Returns
+  /// nullptr when no candidate satisfies the choice.
+  static std::shared_ptr<Estimator> select(const Module& module,
+                                           ParamKind kind,
+                                           const EstimatorChoice& choice);
+
+  LogSink* log() const { return log_; }
+
+ private:
+  static std::atomic<std::uint32_t> nextId_;
+
+  std::uint32_t id_;
+  std::map<int, EstimatorChoice> criteria_;
+  LogSink* log_;
+};
+
+}  // namespace vcad

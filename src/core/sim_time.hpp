@@ -1,0 +1,17 @@
+// Simulation time base for the event-driven backplane.
+//
+// Simulated time is a plain 64-bit tick counter; the interpretation of a
+// tick (ns, clock cycle, ...) is up to the design. Events scheduled at the
+// same tick are dispatched in FIFO order (delta-cycle semantics), which gives
+// deterministic fixpoint evaluation of zero-delay combinational logic.
+#pragma once
+
+#include <cstdint>
+
+namespace vcad {
+
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kSimTimeMax = ~static_cast<SimTime>(0);
+
+}  // namespace vcad

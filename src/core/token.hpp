@@ -1,0 +1,126 @@
+// Tokens are the superclass of every event handled by a scheduler.
+//
+// Tokens do more than represent functional events (signal value changes):
+// they are a general message-passing mechanism used to traverse the design,
+// collect information from modules (estimation tokens), and let modules
+// schedule events for themselves (self tokens, e.g. for clock generators).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/estimation.hpp"
+#include "core/sim_time.hpp"
+#include "core/word.hpp"
+
+namespace vcad {
+
+class Connector;
+class Module;
+class Port;
+class Scheduler;
+class SetupController;
+
+/// Context handed to modules with every dispatched token. Carries the
+/// dispatching scheduler (modules may only schedule new tokens on it — the
+/// no-interference rule) and the active estimation setup.
+struct SimContext {
+  Scheduler& scheduler;
+  const SetupController* setup = nullptr;
+};
+
+class Token {
+ public:
+  virtual ~Token() = default;
+
+  SimTime time() const { return time_; }
+
+  /// Dispatches the token to its target. Called by the owning scheduler.
+  virtual void deliver(SimContext& ctx) = 0;
+
+  virtual std::string describe() const = 0;
+
+ private:
+  friend class Scheduler;  // stamps the delivery time at schedule()
+  SimTime time_ = 0;
+};
+
+/// A functional event: a new word value arriving at a module input port.
+class SignalToken final : public Token {
+ public:
+  SignalToken(Port& target, Word value);
+
+  Port& target() const { return *target_; }
+  const Word& value() const { return value_; }
+
+  void deliver(SimContext& ctx) override;
+  std::string describe() const override;
+
+ private:
+  Port* target_;
+  Word value_;
+};
+
+/// A self-scheduled event: a module waking itself up (clock generators,
+/// autonomous stimulus sources). `tag` disambiguates multiple pending
+/// self-events.
+class SelfToken final : public Token {
+ public:
+  SelfToken(Module& target, int tag);
+
+  Module& target() const { return *target_; }
+  int tag() const { return tag_; }
+
+  void deliver(SimContext& ctx) override;
+  std::string describe() const override;
+
+ private:
+  Module* target_;
+  int tag_;
+};
+
+/// Latches a value onto an open-ended connector (an observation point with
+/// no receiving module) at its delivery time, so emissions into taps respect
+/// simulated time exactly like emissions into module ports.
+class LatchToken final : public Token {
+ public:
+  LatchToken(Connector& conn, Word value);
+
+  void deliver(SimContext& ctx) override;
+  std::string describe() const override;
+
+ private:
+  Connector* conn_;
+  Word value_;
+};
+
+/// Collects estimation results as estimation tokens traverse the design.
+class EstimationSink {
+ public:
+  virtual ~EstimationSink() = default;
+  virtual void collect(Module& module, ParamKind kind,
+                       std::unique_ptr<ParamValue> value) = 0;
+};
+
+/// An estimation event: asks a module to evaluate one of its parameters
+/// using the estimator bound by the current setup, and to deposit the result
+/// in the sink.
+class EstimationToken final : public Token {
+ public:
+  EstimationToken(Module& target, ParamKind kind, EstimationSink& sink);
+
+  Module& target() const { return *target_; }
+  ParamKind kind() const { return kind_; }
+  EstimationSink& sink() const { return *sink_; }
+
+  void deliver(SimContext& ctx) override;
+  std::string describe() const override;
+
+ private:
+  Module* target_;
+  ParamKind kind_;
+  EstimationSink* sink_;
+};
+
+}  // namespace vcad

@@ -1,0 +1,117 @@
+#include "fault/atpg.hpp"
+
+#include <algorithm>
+
+namespace vcad::fault {
+
+namespace {
+
+/// Faults (by index) newly detected by `pattern` among those not yet in
+/// `detected`.
+std::vector<std::size_t> detectsWhich(const gate::NetlistEvaluator& eval,
+                                      const std::vector<StuckFault>& faults,
+                                      const std::vector<bool>& detected,
+                                      const Word& pattern) {
+  const Word golden = eval.evalOutputs(pattern);
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (detected[i]) continue;
+    if (eval.evalOutputs(pattern, faults[i]) != golden) hits.push_back(i);
+  }
+  return hits;
+}
+
+}  // namespace
+
+AtpgResult generateTests(const gate::Netlist& netlist,
+                         const AtpgOptions& options) {
+  const CollapsedFaults collapsed = collapseAll(netlist);
+  gate::NetlistEvaluator eval(netlist);
+  Rng rng(options.seed);
+
+  AtpgResult res;
+  res.faultCount = collapsed.size();
+  if (collapsed.representatives.empty()) return res;
+
+  std::vector<bool> detected(collapsed.size(), false);
+  std::size_t detectedCount = 0;
+  int uselessStreak = 0;
+
+  while (static_cast<int>(res.candidatesTried) < options.maxPatterns &&
+         uselessStreak < options.giveUpAfterUseless) {
+    const Word candidate = Word::fromUint(netlist.inputCount(), rng.next());
+    ++res.candidatesTried;
+    const auto hits =
+        detectsWhich(eval, collapsed.representatives, detected, candidate);
+    if (hits.empty()) {
+      ++uselessStreak;
+      continue;
+    }
+    uselessStreak = 0;
+    for (std::size_t i : hits) detected[i] = true;
+    detectedCount += hits.size();
+    res.patterns.push_back(candidate);
+    if (static_cast<double>(detectedCount) >=
+        options.targetCoverage * static_cast<double>(collapsed.size())) {
+      break;
+    }
+  }
+
+  res.beforeCompaction = res.patterns.size();
+  res.patterns =
+      compactTests(netlist, collapsed.representatives, res.patterns);
+  // Final coverage of the compacted set.
+  std::vector<bool> finalDetected(collapsed.size(), false);
+  std::size_t finalCount = 0;
+  for (const Word& p : res.patterns) {
+    for (std::size_t i :
+         detectsWhich(eval, collapsed.representatives, finalDetected, p)) {
+      finalDetected[i] = true;
+      ++finalCount;
+    }
+  }
+  res.coverage =
+      static_cast<double>(finalCount) / static_cast<double>(collapsed.size());
+  return res;
+}
+
+std::vector<Word> compactTests(const gate::Netlist& netlist,
+                               const std::vector<gate::StuckFault>& faults,
+                               const std::vector<Word>& patterns) {
+  gate::NetlistEvaluator eval(netlist);
+
+  // Which faults does each pattern detect in isolation?
+  std::vector<std::vector<std::size_t>> perPattern;
+  perPattern.reserve(patterns.size());
+  const std::vector<bool> none(faults.size(), false);
+  for (const Word& p : patterns) {
+    perPattern.push_back(detectsWhich(eval, faults, none, p));
+  }
+
+  // Reverse-order greedy: keep a pattern only if it detects something not
+  // already covered by the patterns kept so far (later patterns detect the
+  // hard faults they were generated for, so walking backwards keeps them
+  // and drops the early, redundant ones).
+  std::vector<bool> covered(faults.size(), false);
+  std::vector<bool> keep(patterns.size(), false);
+  for (std::size_t k = patterns.size(); k-- > 0;) {
+    bool contributes = false;
+    for (std::size_t f : perPattern[k]) {
+      if (!covered[f]) {
+        contributes = true;
+        break;
+      }
+    }
+    if (!contributes) continue;
+    keep[k] = true;
+    for (std::size_t f : perPattern[k]) covered[f] = true;
+  }
+
+  std::vector<Word> out;
+  for (std::size_t k = 0; k < patterns.size(); ++k) {
+    if (keep[k]) out.push_back(patterns[k]);
+  }
+  return out;
+}
+
+}  // namespace vcad::fault

@@ -1,0 +1,47 @@
+// Automatic test-pattern generation for the virtual-fault-simulation flow.
+//
+// The paper observes that "a good test sequence is IP that might need
+// protection": the user develops compact pattern sets and has an interest
+// in keeping them private — which the virtual protocol allows, since only
+// component-port values ever reach providers. This module generates such
+// pattern sets:
+//
+//   - random-pattern ATPG with fault dropping: draw random patterns, keep
+//     those that detect at least one still-undetected fault, stop at the
+//     coverage target or when patterns stop paying off;
+//   - greedy reverse-order compaction: drop patterns whose faults are
+//     covered by the retained suffix (classic static compaction).
+#pragma once
+
+#include "core/rng.hpp"
+#include "fault/serial_sim.hpp"
+
+namespace vcad::fault {
+
+struct AtpgOptions {
+  double targetCoverage = 0.95;   // stop once reached
+  int maxPatterns = 4096;         // hard budget on drawn candidates
+  int giveUpAfterUseless = 256;   // consecutive non-contributing candidates
+  std::uint64_t seed = 0x7e57;
+};
+
+struct AtpgResult {
+  std::vector<Word> patterns;     // the compacted test set
+  double coverage = 0.0;          // over the collapsed fault list
+  std::size_t faultCount = 0;
+  std::size_t candidatesTried = 0;
+  std::size_t beforeCompaction = 0;
+};
+
+/// Generates a compact test set for the collapsed stuck-at faults of a
+/// combinational netlist.
+AtpgResult generateTests(const gate::Netlist& netlist,
+                         const AtpgOptions& options = {});
+
+/// Static reverse-order compaction: returns the subset of `patterns` (in
+/// original order) whose detected-fault union equals the full set's.
+std::vector<Word> compactTests(const gate::Netlist& netlist,
+                               const std::vector<gate::StuckFault>& faults,
+                               const std::vector<Word>& patterns);
+
+}  // namespace vcad::fault

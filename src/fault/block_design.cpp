@@ -1,0 +1,291 @@
+#include "fault/block_design.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "core/wiring.hpp"
+
+namespace vcad::fault {
+
+using gate::NetId;
+using gate::Netlist;
+using gate::NetlistModule;
+
+int BlockDesign::addBlock(std::string name,
+                          std::shared_ptr<const Netlist> netlist) {
+  if (!netlist) throw std::invalid_argument("addBlock: null netlist");
+  netlist->validate();
+  Block b;
+  b.name = std::move(name);
+  b.inputDrivers.assign(static_cast<size_t>(netlist->inputCount()),
+                        Pin{-2, 0});
+  b.netlist = std::move(netlist);
+  blocks_.push_back(std::move(b));
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
+int BlockDesign::addPrimaryInput(std::string name) {
+  piNames_.push_back(std::move(name));
+  return static_cast<int>(piNames_.size()) - 1;
+}
+
+void BlockDesign::connect(Pin source, int block, int inPin) {
+  auto& b = blocks_.at(static_cast<size_t>(block));
+  auto& slot = b.inputDrivers.at(static_cast<size_t>(inPin));
+  if (slot.block != -2) {
+    throw std::logic_error("block '" + b.name + "' input pin " +
+                           std::to_string(inPin) + " already driven");
+  }
+  if (source.block == -1) {
+    if (source.pin < 0 || source.pin >= primaryInputCount()) {
+      throw std::out_of_range("connect: bad primary input index");
+    }
+  } else {
+    const auto& src = blocks_.at(static_cast<size_t>(source.block));
+    if (source.pin < 0 || source.pin >= src.netlist->outputCount()) {
+      throw std::out_of_range("connect: bad source output pin");
+    }
+  }
+  slot = source;
+}
+
+void BlockDesign::markPrimaryOutput(int block, int outPin, std::string name) {
+  const auto& b = blocks_.at(static_cast<size_t>(block));
+  if (outPin < 0 || outPin >= b.netlist->outputCount()) {
+    throw std::out_of_range("markPrimaryOutput: bad output pin");
+  }
+  if (name.empty()) {
+    name = b.name + "/" +
+           b.netlist->netName(b.netlist->primaryOutputs()[static_cast<size_t>(outPin)]);
+  }
+  pos_.push_back(PrimaryOutput{block, outPin, std::move(name)});
+}
+
+void BlockDesign::validate() const {
+  for (const Block& b : blocks_) {
+    for (size_t i = 0; i < b.inputDrivers.size(); ++i) {
+      if (b.inputDrivers[i].block == -2) {
+        throw std::logic_error("block '" + b.name + "' input pin " +
+                               std::to_string(i) + " is undriven");
+      }
+    }
+  }
+  if (pos_.empty()) {
+    throw std::logic_error("design has no primary outputs");
+  }
+  (void)topoBlocks();
+}
+
+std::vector<int> BlockDesign::topoBlocks() const {
+  std::vector<int> state(blocks_.size(), 0);  // 0 new, 1 visiting, 2 done
+  std::vector<int> order;
+  // Iterative DFS.
+  for (int start = 0; start < blockCount(); ++start) {
+    if (state[static_cast<size_t>(start)] != 0) continue;
+    std::vector<std::pair<int, size_t>> stack{{start, 0}};
+    state[static_cast<size_t>(start)] = 1;
+    while (!stack.empty()) {
+      auto& [b, edge] = stack.back();
+      const Block& blk = blocks_[static_cast<size_t>(b)];
+      bool descended = false;
+      while (edge < blk.inputDrivers.size()) {
+        const Pin src = blk.inputDrivers[edge++];
+        if (src.block < 0) continue;
+        const int dep = src.block;
+        if (state[static_cast<size_t>(dep)] == 1) {
+          throw std::logic_error("block graph contains a cycle through '" +
+                                 blocks_[static_cast<size_t>(dep)].name + "'");
+        }
+        if (state[static_cast<size_t>(dep)] == 0) {
+          state[static_cast<size_t>(dep)] = 1;
+          stack.emplace_back(dep, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && edge >= blk.inputDrivers.size()) {
+        state[static_cast<size_t>(b)] = 2;
+        order.push_back(b);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+Netlist BlockDesign::flatten() const {
+  validate();
+  Netlist out;
+  std::vector<NetId> piNets;
+  piNets.reserve(piNames_.size());
+  for (const std::string& n : piNames_) piNets.push_back(out.addInput(n));
+
+  // For each block, the flat net carrying each of its nets.
+  std::vector<std::vector<NetId>> blockNet(
+      blocks_.size(), std::vector<NetId>());
+
+  for (int b : topoBlocks()) {
+    const Block& blk = blocks_[static_cast<size_t>(b)];
+    const Netlist& nl = *blk.netlist;
+    auto& map = blockNet[static_cast<size_t>(b)];
+    map.assign(static_cast<size_t>(nl.netCount()), gate::kNoNet);
+
+    // Bind block inputs to their flat driver nets.
+    for (size_t pin = 0; pin < blk.inputDrivers.size(); ++pin) {
+      const Pin src = blk.inputDrivers[pin];
+      NetId flat;
+      if (src.block == -1) {
+        flat = piNets[static_cast<size_t>(src.pin)];
+      } else {
+        const Netlist& srcNl = *blocks_[static_cast<size_t>(src.block)].netlist;
+        const NetId srcNet =
+            srcNl.primaryOutputs()[static_cast<size_t>(src.pin)];
+        flat = blockNet[static_cast<size_t>(src.block)]
+                       [static_cast<size_t>(srcNet)];
+      }
+      map[static_cast<size_t>(nl.primaryInputs()[pin])] = flat;
+    }
+
+    // Clone internal nets and gates in topological order.
+    for (int g : nl.topoOrder()) {
+      const gate::GateNode& gn = nl.gates()[static_cast<size_t>(g)];
+      std::vector<NetId> ins;
+      ins.reserve(gn.inputs.size());
+      for (NetId in : gn.inputs) {
+        ins.push_back(map[static_cast<size_t>(in)]);
+      }
+      const NetId flatOut = out.addGate(
+          gn.type, std::move(ins), blk.name + "/" + nl.netName(gn.output));
+      map[static_cast<size_t>(gn.output)] = flatOut;
+    }
+  }
+
+  for (const PrimaryOutput& po : pos_) {
+    const Netlist& nl = *blocks_[static_cast<size_t>(po.block)].netlist;
+    const NetId net = nl.primaryOutputs()[static_cast<size_t>(po.pin)];
+    out.markOutput(
+        blockNet[static_cast<size_t>(po.block)][static_cast<size_t>(net)]);
+  }
+  out.validate();
+  return out;
+}
+
+BlockDesign::Instantiation BlockDesign::instantiate() const {
+  validate();
+  Instantiation inst;
+  inst.circuit = std::make_unique<Circuit>("design");
+  Circuit& c = *inst.circuit;
+
+  // Consumers of every source pin (design PI or block output), so fanout
+  // modules can be created where needed.
+  struct Consumer {
+    int block;
+    int inPin;
+  };
+  std::map<std::pair<int, int>, std::vector<Consumer>> consumers;
+  for (int b = 0; b < blockCount(); ++b) {
+    const Block& blk = blocks_[static_cast<size_t>(b)];
+    for (size_t pin = 0; pin < blk.inputDrivers.size(); ++pin) {
+      const Pin src = blk.inputDrivers[pin];
+      consumers[{src.block, src.pin}].push_back(
+          Consumer{b, static_cast<int>(pin)});
+    }
+  }
+  std::map<std::pair<int, int>, int> poCount;
+  for (const PrimaryOutput& po : pos_) ++poCount[{po.block, po.pin}];
+
+  // Per block-input connector, to be filled as sources are laid out.
+  std::vector<std::vector<Connector*>> blockInConn(blocks_.size());
+  for (int b = 0; b < blockCount(); ++b) {
+    blockInConn[static_cast<size_t>(b)].assign(
+        blocks_[static_cast<size_t>(b)].inputDrivers.size(), nullptr);
+  }
+
+  // Routes one source connector to all its consumers (+ optional PO taps),
+  // inserting a fanout module when there is more than one destination.
+  auto route = [&](Connector& srcConn, const std::string& srcName,
+                   const std::vector<Consumer>& dests, int poTaps,
+                   std::vector<Connector*>& poOut) {
+    const int total = static_cast<int>(dests.size()) + poTaps;
+    if (total == 0) return;
+    if (total == 1 && poTaps == 0) {
+      const Consumer& d = dests[0];
+      blockInConn[static_cast<size_t>(d.block)][static_cast<size_t>(d.inPin)] =
+          &srcConn;
+      return;
+    }
+    if (total == 1 && poTaps == 1) {
+      poOut.push_back(&srcConn);
+      return;
+    }
+    std::vector<Fanout::Branch> branches;
+    std::vector<Connector*> branchConns;
+    for (int i = 0; i < total; ++i) {
+      Connector& bc = c.makeBit(srcName + "#" + std::to_string(i));
+      branches.push_back({&bc, 0});
+      branchConns.push_back(&bc);
+    }
+    c.make<Fanout>("fan:" + srcName, srcConn, std::move(branches));
+    int next = 0;
+    for (const Consumer& d : dests) {
+      blockInConn[static_cast<size_t>(d.block)][static_cast<size_t>(d.inPin)] =
+          branchConns[static_cast<size_t>(next++)];
+    }
+    for (int i = 0; i < poTaps; ++i) {
+      poOut.push_back(branchConns[static_cast<size_t>(next++)]);
+    }
+  };
+
+  // Primary-output connectors are gathered per (block, pin) first, then
+  // ordered to match pos_.
+  std::map<std::pair<int, int>, std::vector<Connector*>> poConnsOf;
+
+  // Design PIs.
+  for (int pi = 0; pi < primaryInputCount(); ++pi) {
+    Connector& src = c.makeBit(piNames_[static_cast<size_t>(pi)]);
+    inst.piConns.push_back(&src);
+    auto it = consumers.find({-1, pi});
+    static const std::vector<Consumer> kNone;
+    std::vector<Connector*> unusedPo;
+    route(src, piNames_[static_cast<size_t>(pi)],
+          it != consumers.end() ? it->second : kNone, 0, unusedPo);
+  }
+
+  // Block output connectors + routing.
+  std::vector<std::vector<Connector*>> blockOutConn(blocks_.size());
+  for (int b = 0; b < blockCount(); ++b) {
+    const Block& blk = blocks_[static_cast<size_t>(b)];
+    for (int pin = 0; pin < blk.netlist->outputCount(); ++pin) {
+      const std::string name = blk.name + "." + std::to_string(pin);
+      Connector& src = c.makeBit(name);
+      blockOutConn[static_cast<size_t>(b)].push_back(&src);
+      auto it = consumers.find({b, pin});
+      static const std::vector<Consumer> kNone;
+      const int taps = poCount.count({b, pin}) ? poCount[{b, pin}] : 0;
+      std::vector<Connector*> poOut;
+      route(src, name, it != consumers.end() ? it->second : kNone, taps,
+            poOut);
+      if (taps > 0) poConnsOf[{b, pin}] = poOut;
+    }
+  }
+
+  // Blocks themselves.
+  for (int b = 0; b < blockCount(); ++b) {
+    const Block& blk = blocks_[static_cast<size_t>(b)];
+    auto mod = gate::makeBitLevelModule(
+        blk.name, blk.netlist, blockInConn[static_cast<size_t>(b)],
+        blockOutConn[static_cast<size_t>(b)]);
+    inst.blockModules.push_back(mod.get());
+    c.adopt(std::move(mod));
+  }
+
+  // Primary outputs, in declaration order.
+  std::map<std::pair<int, int>, std::size_t> taken;
+  for (const PrimaryOutput& po : pos_) {
+    auto& pool = poConnsOf.at({po.block, po.pin});
+    inst.poConns.push_back(pool.at(taken[{po.block, po.pin}]++));
+  }
+  return inst;
+}
+
+}  // namespace vcad::fault

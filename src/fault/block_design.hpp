@@ -1,0 +1,92 @@
+// BlockDesign: a structural description of a design as a DAG of gate-level
+// blocks (some local, some destined to be IP components).
+//
+// One description, two realizations:
+//  - instantiate(): a backplane Circuit of NetlistModules joined by bit
+//    connectors (with explicit fanout modules), the form virtual fault
+//    simulation operates on; and
+//  - flatten(): a single merged Netlist — the *full-disclosure* view only
+//    someone owning every block could build, used as the golden baseline the
+//    virtual flow must match.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "gate/netlist_module.hpp"
+#include "rtl/modules.hpp"
+
+namespace vcad::fault {
+
+class BlockDesign {
+ public:
+  struct Pin {
+    int block = -1;  // -1: a design primary input
+    int pin = 0;     // PI index when block == -1, block output pin otherwise
+  };
+
+  /// Adds a block; returns its index. The block name prefixes net names in
+  /// the flattened view and module names in the instantiated view.
+  int addBlock(std::string name, std::shared_ptr<const gate::Netlist> netlist);
+
+  /// Declares a design primary input; returns its index.
+  int addPrimaryInput(std::string name);
+
+  /// Drives block input pin (`block`, `inPin`) from `source` (a design PI or
+  /// another block's output pin). Each block input has exactly one driver.
+  void connect(Pin source, int block, int inPin);
+
+  /// Marks a block output pin as a design primary output.
+  void markPrimaryOutput(int block, int outPin, std::string name = "");
+
+  int blockCount() const { return static_cast<int>(blocks_.size()); }
+  int primaryInputCount() const { return static_cast<int>(piNames_.size()); }
+  int primaryOutputCount() const { return static_cast<int>(pos_.size()); }
+  const std::string& blockName(int b) const { return blocks_.at(static_cast<size_t>(b)).name; }
+  const gate::Netlist& blockNetlist(int b) const {
+    return *blocks_.at(static_cast<size_t>(b)).netlist;
+  }
+  std::shared_ptr<const gate::Netlist> blockNetlistPtr(int b) const {
+    return blocks_.at(static_cast<size_t>(b)).netlist;
+  }
+
+  /// Checks completeness (every block input driven) and acyclicity.
+  /// Throws std::logic_error on violation.
+  void validate() const;
+
+  /// Full-disclosure realization: one merged netlist; internal net names are
+  /// "<block>/<net>"; design PIs/POs keep their own names.
+  gate::Netlist flatten() const;
+
+  /// Backplane realization.
+  struct Instantiation {
+    std::unique_ptr<Circuit> circuit;
+    std::vector<Connector*> piConns;             // inject stimuli here
+    std::vector<Connector*> poConns;             // observe results here
+    std::vector<gate::NetlistModule*> blockModules;  // index = block id
+  };
+  Instantiation instantiate() const;
+
+ private:
+  struct Block {
+    std::string name;
+    std::shared_ptr<const gate::Netlist> netlist;
+    std::vector<Pin> inputDrivers;  // per input pin; block=-2 means unset
+  };
+  struct PrimaryOutput {
+    int block;
+    int pin;
+    std::string name;
+  };
+
+  /// Blocks in topological order. Throws on cycles.
+  std::vector<int> topoBlocks() const;
+
+  std::vector<Block> blocks_;
+  std::vector<std::string> piNames_;
+  std::vector<PrimaryOutput> pos_;
+};
+
+}  // namespace vcad::fault

@@ -1,0 +1,97 @@
+#include "fault/detection.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace vcad::fault {
+
+const Word* DetectionTable::faultyOutputFor(const std::string& symbol) const {
+  for (const Row& row : rows_) {
+    if (std::find(row.faults.begin(), row.faults.end(), symbol) !=
+        row.faults.end()) {
+      return &row.faultyOutput;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DetectionTable::faultsFor(
+    const Word& faultyOutput) const {
+  for (const Row& row : rows_) {
+    if (row.faultyOutput == faultyOutput) return row.faults;
+  }
+  return {};
+}
+
+std::size_t DetectionTable::excitedFaultCount() const {
+  std::size_t n = 0;
+  for (const Row& row : rows_) n += row.faults.size();
+  return n;
+}
+
+std::string DetectionTable::toString() const {
+  std::string s = "DetectionTable(in=" + inputs_.toString() +
+                  ", fault-free=" + faultFree_.toString() + ")";
+  for (const Row& row : rows_) {
+    s += "\n  " + row.faultyOutput.toString() + " <- {";
+    for (std::size_t i = 0; i < row.faults.size(); ++i) {
+      if (i != 0) s += ", ";
+      s += row.faults[i];
+    }
+    s += "}";
+  }
+  return s;
+}
+
+void DetectionTable::serialize(net::ByteBuffer& buf) const {
+  buf.writeWord(inputs_);
+  buf.writeWord(faultFree_);
+  buf.writeU32(static_cast<std::uint32_t>(rows_.size()));
+  for (const Row& row : rows_) {
+    buf.writeWord(row.faultyOutput);
+    buf.writeU32(static_cast<std::uint32_t>(row.faults.size()));
+    for (const std::string& f : row.faults) buf.writeString(f);
+  }
+}
+
+DetectionTable DetectionTable::deserialize(net::ByteBuffer& buf) {
+  const Word inputs = buf.readWord();
+  const Word faultFree = buf.readWord();
+  const std::uint32_t nRows = buf.readU32();
+  std::vector<Row> rows;
+  rows.reserve(nRows);
+  for (std::uint32_t r = 0; r < nRows; ++r) {
+    Row row;
+    row.faultyOutput = buf.readWord();
+    const std::uint32_t nFaults = buf.readU32();
+    for (std::uint32_t i = 0; i < nFaults; ++i) {
+      row.faults.push_back(buf.readString());
+    }
+    rows.push_back(std::move(row));
+  }
+  return DetectionTable(inputs, faultFree, std::move(rows));
+}
+
+DetectionTable buildDetectionTable(const gate::NetlistEvaluator& eval,
+                                   const CollapsedFaults& collapsed,
+                                   const Word& inputs) {
+  const Word faultFree = eval.evalOutputs(inputs);
+  std::map<std::string, DetectionTable::Row> byOutput;
+  const Netlist& nl = eval.netlist();
+  for (const StuckFault& f : collapsed.representatives) {
+    const Word out = eval.evalOutputs(inputs, f);
+    if (out == faultFree) continue;  // fault not excited by this pattern
+    auto& row = byOutput[out.toString()];
+    row.faultyOutput = out;
+    row.faults.push_back(symbolOf(nl, f));
+  }
+  std::vector<DetectionTable::Row> rows;
+  rows.reserve(byOutput.size());
+  for (auto& [key, row] : byOutput) {
+    std::sort(row.faults.begin(), row.faults.end());
+    rows.push_back(std::move(row));
+  }
+  return DetectionTable(inputs, faultFree, std::move(rows));
+}
+
+}  // namespace vcad::fault

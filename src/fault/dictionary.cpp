@@ -1,0 +1,82 @@
+#include "fault/dictionary.hpp"
+
+#include <stdexcept>
+
+namespace vcad::fault {
+
+FaultDictionary FaultDictionary::build(const gate::Netlist& netlist,
+                                       const CollapsedFaults& collapsed,
+                                       int maxInputBits) {
+  const int n = netlist.inputCount();
+  if (n > maxInputBits || n >= 63) {
+    throw std::invalid_argument(
+        "FaultDictionary: " + std::to_string(n) +
+        " inputs means 2^" + std::to_string(n) +
+        " tables — beyond the configured exponential wall");
+  }
+  gate::NetlistEvaluator eval(netlist);
+  FaultDictionary d;
+  d.inputBits_ = n;
+  d.faultList_ = symbolicFaultList(netlist, collapsed);
+  const std::uint64_t configs = 1ULL << n;
+  d.tables_.reserve(configs);
+  for (std::uint64_t v = 0; v < configs; ++v) {
+    d.tables_.push_back(
+        buildDetectionTable(eval, collapsed, Word::fromUint(n, v)));
+  }
+  return d;
+}
+
+const DetectionTable& FaultDictionary::tableFor(const Word& inputs) const {
+  if (inputs.width() != inputBits_) {
+    throw std::invalid_argument("FaultDictionary: input width mismatch");
+  }
+  if (!inputs.isFullyKnown()) {
+    throw std::invalid_argument(
+        "FaultDictionary: unknown input bits have no dictionary entry");
+  }
+  return tables_[static_cast<std::size_t>(inputs.toUint())];
+}
+
+void FaultDictionary::serialize(net::ByteBuffer& buf) const {
+  buf.writeU8(static_cast<std::uint8_t>(inputBits_));
+  buf.writeU32(static_cast<std::uint32_t>(faultList_.size()));
+  for (const std::string& f : faultList_) buf.writeString(f);
+  buf.writeU32(static_cast<std::uint32_t>(tables_.size()));
+  for (const DetectionTable& t : tables_) t.serialize(buf);
+}
+
+FaultDictionary FaultDictionary::deserialize(net::ByteBuffer& buf) {
+  FaultDictionary d;
+  d.inputBits_ = buf.readU8();
+  const std::uint32_t nFaults = buf.readU32();
+  for (std::uint32_t i = 0; i < nFaults; ++i) {
+    d.faultList_.push_back(buf.readString());
+  }
+  const std::uint32_t nTables = buf.readU32();
+  d.tables_.reserve(nTables);
+  for (std::uint32_t i = 0; i < nTables; ++i) {
+    d.tables_.push_back(DetectionTable::deserialize(buf));
+  }
+  return d;
+}
+
+std::size_t FaultDictionary::sizeBytes() const {
+  net::ByteBuffer buf;
+  serialize(buf);
+  return buf.size();
+}
+
+DictionaryFaultClient::DictionaryFaultClient(Module& module,
+                                             FaultDictionary dictionary)
+    : module_(module), dict_(std::move(dictionary)) {}
+
+std::vector<std::string> DictionaryFaultClient::faultList() {
+  return dict_.faultList();
+}
+
+DetectionTable DictionaryFaultClient::detectionTable(const Word& inputs) {
+  return dict_.tableFor(inputs);
+}
+
+}  // namespace vcad::fault

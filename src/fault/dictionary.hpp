@@ -1,0 +1,68 @@
+// Fault dictionary: the *static* alternative to the dynamic detection-table
+// protocol, made concrete so the paper's central argument can be measured.
+//
+// The paper: providers could "supply complete information about each IP
+// component's detection properties — namely, the output pattern produced by
+// the component corresponding to any possible input configuration or any
+// possible component fault. This is a huge amount of information;
+// worst-case extraction time and representation size grow exponentially
+// with the number of inputs ... users exploit only a small subset of such
+// information during a typical fault-simulation experiment."
+//
+// A FaultDictionary is exactly that precharacterized bundle: one detection
+// table per input configuration. DictionaryFaultClient then runs virtual
+// fault simulation with zero runtime provider contact. The ablation bench
+// compares dictionary bytes against the bytes the dynamic protocol actually
+// ships.
+#pragma once
+
+#include "fault/fault_client.hpp"
+#include "net/serialize.hpp"
+
+namespace vcad::fault {
+
+class FaultDictionary {
+ public:
+  /// Exhaustively characterizes a component: 2^inputs detection tables.
+  /// Refuses netlists wider than `maxInputBits` (the exponential wall).
+  static FaultDictionary build(const gate::Netlist& netlist,
+                               const CollapsedFaults& collapsed,
+                               int maxInputBits = 16);
+
+  int inputBits() const { return inputBits_; }
+  std::size_t tableCount() const { return tables_.size(); }
+
+  /// The precomputed table for a fully-known input configuration.
+  const DetectionTable& tableFor(const Word& inputs) const;
+
+  const std::vector<std::string>& faultList() const { return faultList_; }
+
+  /// Serialized size: what the provider would have to ship up front.
+  std::size_t sizeBytes() const;
+
+  void serialize(net::ByteBuffer& buf) const;
+  static FaultDictionary deserialize(net::ByteBuffer& buf);
+
+ private:
+  int inputBits_ = 0;
+  std::vector<std::string> faultList_;
+  std::vector<DetectionTable> tables_;  // indexed by the input word's value
+};
+
+/// FaultClient answering phase-1 and phase-2 queries from a shipped
+/// dictionary — no provider round trips, at the price of the exponential
+/// precharacterization.
+class DictionaryFaultClient final : public FaultClient {
+ public:
+  DictionaryFaultClient(Module& module, FaultDictionary dictionary);
+
+  Module& module() override { return module_; }
+  std::vector<std::string> faultList() override;
+  DetectionTable detectionTable(const Word& inputs) override;
+
+ private:
+  Module& module_;
+  FaultDictionary dict_;
+};
+
+}  // namespace vcad::fault

@@ -1,0 +1,72 @@
+// FaultClient: the user's per-component window into virtual fault
+// simulation.
+//
+// Phase 1 of the protocol needs each component's symbolic fault list; phase
+// 2 needs, for the component's current input configuration, its detection
+// table. For local (user-owned) components both are computed in place; for
+// remote IP components the same interface is implemented by an RMI stub (see
+// src/ip), with the provider evaluating tables server-side — the user never
+// needs the netlist.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/module.hpp"
+#include "fault/detection.hpp"
+#include "fault/model.hpp"
+#include "gate/netlist_module.hpp"
+
+namespace vcad::fault {
+
+class FaultClient {
+ public:
+  virtual ~FaultClient() = default;
+
+  /// The backplane module realizing this component in the design.
+  virtual Module& module() = 0;
+
+  /// Phase 1: symbolic fault list (collapsed, internal faults only).
+  virtual std::vector<std::string> faultList() = 0;
+
+  /// Phase 2: detection table for one input configuration.
+  virtual DetectionTable detectionTable(const Word& inputs) = 0;
+
+  /// Component input configuration currently visible to `ctx`'s scheduler
+  /// (one bit per module input port, in port order).
+  Word observedInputs(const SimContext& ctx);
+
+  /// Output override list realizing `faultyOutputs` on the component's
+  /// output ports (bit i of the word -> output port i).
+  std::vector<Scheduler::OutputOverride> overridesFor(const Word& faultyOutputs);
+};
+
+/// Which nets of a component carry published faults. The paper's provider
+/// policy publishes internal faults only (the user directly handles faults
+/// on its own visible input/output signals); equivalence experiments widen
+/// the scope to compare against a flat full-disclosure simulator.
+struct FaultScope {
+  bool includeInputs = false;
+  bool includeOutputs = false;
+};
+
+/// Local (user-owned) component: fault information computed directly from
+/// the netlist, which the user legitimately possesses.
+class LocalFaultBlock final : public FaultClient {
+ public:
+  explicit LocalFaultBlock(gate::NetlistModule& module, bool dominance = true,
+                           FaultScope scope = {});
+
+  Module& module() override { return module_; }
+  std::vector<std::string> faultList() override;
+  DetectionTable detectionTable(const Word& inputs) override;
+
+  const CollapsedFaults& collapsed() const { return collapsed_; }
+
+ private:
+  gate::NetlistModule& module_;
+  CollapsedFaults collapsed_;
+};
+
+}  // namespace vcad::fault

@@ -1,0 +1,239 @@
+#include "fault/model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace vcad::fault {
+
+using gate::GateNode;
+using gate::GateType;
+
+std::string symbolOf(const Netlist& nl, const StuckFault& f) {
+  return nl.netName(f.net) + (f.stuck == Logic::L0 ? "sa0" : "sa1");
+}
+
+std::vector<StuckFault> enumerateFaults(const Netlist& nl,
+                                        bool includePrimaryInputs,
+                                        bool includePrimaryOutputNets) {
+  std::vector<StuckFault> out;
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    if (!includePrimaryInputs && nl.isPrimaryInput(n)) continue;
+    if (!includePrimaryOutputNets && nl.isPrimaryOutput(n)) continue;
+    out.push_back(StuckFault{n, Logic::L0});
+    out.push_back(StuckFault{n, Logic::L1});
+  }
+  return out;
+}
+
+namespace {
+
+/// Union-find over fault indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// For equivalence across a gate boundary, the input net must feed only
+/// this gate (fanout exactly 1 and not observed as a primary output):
+/// otherwise the input fault also disturbs other readers and is not
+/// equivalent to the output fault.
+bool soleReader(const Netlist& nl, NetId in) { return nl.fanoutOf(in) == 1; }
+
+}  // namespace
+
+CollapsedFaults collapseEquivalent(const Netlist& nl,
+                                   const std::vector<StuckFault>& universe) {
+  std::map<StuckFault, std::size_t> index;
+  for (std::size_t i = 0; i < universe.size(); ++i) index[universe[i]] = i;
+  auto idx = [&](NetId net, Logic v) -> int {
+    auto it = index.find(StuckFault{net, v});
+    return it == index.end() ? -1 : static_cast<int>(it->second);
+  };
+
+  UnionFind uf(universe.size());
+  auto unite = [&](int a, int b) {
+    if (a >= 0 && b >= 0) uf.unite(static_cast<std::size_t>(a),
+                                   static_cast<std::size_t>(b));
+  };
+
+  for (const GateNode& g : nl.gates()) {
+    const NetId out = g.output;
+    switch (g.type) {
+      case GateType::Buf:
+        if (soleReader(nl, g.inputs[0])) {
+          unite(idx(g.inputs[0], Logic::L0), idx(out, Logic::L0));
+          unite(idx(g.inputs[0], Logic::L1), idx(out, Logic::L1));
+        }
+        break;
+      case GateType::Not:
+        if (soleReader(nl, g.inputs[0])) {
+          unite(idx(g.inputs[0], Logic::L0), idx(out, Logic::L1));
+          unite(idx(g.inputs[0], Logic::L1), idx(out, Logic::L0));
+        }
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        const Logic outVal =
+            g.type == GateType::And ? Logic::L0 : Logic::L1;
+        for (NetId in : g.inputs) {
+          if (soleReader(nl, in)) unite(idx(in, Logic::L0), idx(out, outVal));
+        }
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        const Logic outVal = g.type == GateType::Or ? Logic::L1 : Logic::L0;
+        for (NetId in : g.inputs) {
+          if (soleReader(nl, in)) unite(idx(in, Logic::L1), idx(out, outVal));
+        }
+        break;
+      }
+      default:
+        break;  // XOR/XNOR/consts: no gate-local equivalences
+    }
+  }
+
+  // Pick a deterministic representative per class: lowest (level, net, sa).
+  const std::vector<int> level = nl.levels();
+  auto better = [&](const StuckFault& a, const StuckFault& b) {
+    const int la = level[static_cast<std::size_t>(a.net)];
+    const int lb = level[static_cast<std::size_t>(b.net)];
+    if (la != lb) return la < lb;
+    return a < b;
+  };
+
+  std::map<std::size_t, StuckFault> best;  // class root -> representative
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto it = best.find(root);
+    if (it == best.end() || better(universe[i], it->second)) {
+      best[root] = universe[i];
+    }
+  }
+
+  // Deterministic order of representatives.
+  std::vector<std::pair<StuckFault, std::size_t>> reps;
+  for (const auto& [root, f] : best) reps.emplace_back(f, root);
+  std::sort(reps.begin(), reps.end(),
+            [&](const auto& a, const auto& b) { return better(a.first, b.first); });
+
+  CollapsedFaults out;
+  std::map<std::size_t, int> repIdxOfRoot;
+  for (const auto& [f, root] : reps) {
+    repIdxOfRoot[root] = static_cast<int>(out.representatives.size());
+    out.representatives.push_back(f);
+    out.classes.emplace_back();
+  }
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const int r = repIdxOfRoot.at(uf.find(i));
+    out.repIndexOf[universe[i]] = r;
+    out.classes[static_cast<std::size_t>(r)].push_back(universe[i]);
+  }
+  return out;
+}
+
+CollapsedFaults collapseDominance(const Netlist& nl,
+                                  const CollapsedFaults& equiv) {
+  // A gate-output fault is dropped when some gate input with a kept fault
+  // guarantees detection: AND output sa1 is detected by any test for an
+  // input sa1 (and dually). Conservatively require the input fault to be a
+  // surviving representative class member.
+  std::vector<bool> drop(equiv.representatives.size(), false);
+
+  auto repIdx = [&](NetId net, Logic v) -> int {
+    auto it = equiv.repIndexOf.find(StuckFault{net, v});
+    return it == equiv.repIndexOf.end() ? -1 : it->second;
+  };
+
+  for (const GateNode& g : nl.gates()) {
+    Logic outFault;
+    Logic inFault;
+    switch (g.type) {
+      case GateType::And:
+        outFault = Logic::L1;
+        inFault = Logic::L1;
+        break;
+      case GateType::Nand:
+        outFault = Logic::L0;
+        inFault = Logic::L1;
+        break;
+      case GateType::Or:
+        outFault = Logic::L0;
+        inFault = Logic::L0;
+        break;
+      case GateType::Nor:
+        outFault = Logic::L1;
+        inFault = Logic::L0;
+        break;
+      default:
+        continue;
+    }
+    const int outRep = repIdx(g.output, outFault);
+    if (outRep < 0) continue;
+    // The output fault must be the representative of a singleton class
+    // (otherwise dropping it would drop merged equivalent faults too).
+    if (equiv.representatives[static_cast<std::size_t>(outRep)] !=
+        StuckFault{g.output, outFault}) {
+      continue;
+    }
+    if (equiv.classes[static_cast<std::size_t>(outRep)].size() != 1) continue;
+    // Every input must carry a kept fault of the dominating polarity.
+    bool allInputsKept = true;
+    for (NetId in : g.inputs) {
+      const int r = repIdx(in, inFault);
+      if (r < 0 || drop[static_cast<std::size_t>(r)]) {
+        allInputsKept = false;
+        break;
+      }
+    }
+    if (allInputsKept) drop[static_cast<std::size_t>(outRep)] = true;
+  }
+
+  CollapsedFaults out;
+  std::vector<int> newIdx(equiv.representatives.size(), -1);
+  for (std::size_t r = 0; r < equiv.representatives.size(); ++r) {
+    if (drop[r]) continue;
+    newIdx[r] = static_cast<int>(out.representatives.size());
+    out.representatives.push_back(equiv.representatives[r]);
+    out.classes.push_back(equiv.classes[r]);
+  }
+  for (const auto& [f, r] : equiv.repIndexOf) {
+    out.repIndexOf[f] = r >= 0 ? newIdx[static_cast<std::size_t>(r)] : -1;
+  }
+  return out;
+}
+
+CollapsedFaults collapseAll(const Netlist& nl, bool dominance,
+                            bool includePrimaryInputs,
+                            bool includePrimaryOutputNets) {
+  const auto universe =
+      enumerateFaults(nl, includePrimaryInputs, includePrimaryOutputNets);
+  CollapsedFaults c = collapseEquivalent(nl, universe);
+  if (dominance) c = collapseDominance(nl, c);
+  return c;
+}
+
+std::vector<std::string> symbolicFaultList(const Netlist& nl,
+                                           const CollapsedFaults& collapsed) {
+  std::vector<std::string> out;
+  out.reserve(collapsed.representatives.size());
+  for (const StuckFault& f : collapsed.representatives) {
+    out.push_back(symbolOf(nl, f));
+  }
+  return out;
+}
+
+}  // namespace vcad::fault

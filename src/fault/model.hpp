@@ -1,0 +1,74 @@
+// Stuck-at fault model: fault universe enumeration and structural
+// collapsing.
+//
+// Providers precharacterize each IP component's fault list and publish it
+// under *symbolic names* ("I3sa0"): the names identify faults without
+// revealing the gate structure around them. Collapsing (gate-local
+// equivalence, then classic dominance) shrinks the list the provider must
+// characterize — the paper's "the provider exploits basic fault dominance".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace vcad::fault {
+
+using gate::Netlist;
+using gate::NetId;
+using gate::StuckFault;
+
+/// Display / symbolic name of a fault: "<net>sa0" or "<net>sa1".
+std::string symbolOf(const Netlist& nl, const StuckFault& f);
+
+/// All stuck-at faults of a netlist (two per net). Flags exclude faults on
+/// primary inputs/outputs — per the paper, "the user directly handles faults
+/// affecting input or output signals", so an IP provider publishes internal
+/// faults only.
+std::vector<StuckFault> enumerateFaults(const Netlist& nl,
+                                        bool includePrimaryInputs = true,
+                                        bool includePrimaryOutputNets = true);
+
+/// Result of structural collapsing over a fault universe.
+struct CollapsedFaults {
+  /// One representative per surviving equivalence class, in a deterministic
+  /// order (topological level, then net id, then stuck value).
+  std::vector<StuckFault> representatives;
+
+  /// Every universe fault -> index into `representatives`, or -1 when the
+  /// fault was removed by dominance (it is implicitly covered by tests for
+  /// a kept fault).
+  std::map<StuckFault, int> repIndexOf;
+
+  /// The full membership of each representative's equivalence class.
+  std::vector<std::vector<StuckFault>> classes;
+
+  std::size_t size() const { return representatives.size(); }
+};
+
+/// Gate-local equivalence collapsing: e.g. any AND input sa0 is equivalent
+/// to the output sa0; NOT input sa0 is equivalent to output sa1. Applied
+/// only across nets with fanout 1 (stem/branch safety).
+CollapsedFaults collapseEquivalent(const Netlist& nl,
+                                   const std::vector<StuckFault>& universe);
+
+/// Dominance collapsing on top of equivalence: drops the dominating gate
+/// output fault when all tests for a kept input fault also detect it
+/// (AND: output sa1, NAND: output sa0, OR: output sa0, NOR: output sa1).
+/// Dropped faults map to repIndexOf = -1.
+CollapsedFaults collapseDominance(const Netlist& nl,
+                                  const CollapsedFaults& equiv);
+
+/// Convenience: enumerate + equivalence (+ optional dominance).
+CollapsedFaults collapseAll(const Netlist& nl, bool dominance = true,
+                            bool includePrimaryInputs = true,
+                            bool includePrimaryOutputNets = true);
+
+/// Symbolic fault list of a component as published by its provider:
+/// internal faults only, collapsed, names only.
+std::vector<std::string> symbolicFaultList(const Netlist& nl,
+                                           const CollapsedFaults& collapsed);
+
+}  // namespace vcad::fault

@@ -1,0 +1,85 @@
+#include "fault/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace vcad::fault {
+
+void writeMarkdownReport(std::ostream& os, const CampaignResult& result,
+                         const std::string& title) {
+  os << "# " << title << "\n\n";
+  os << "- faults (collapsed): " << result.faultList.size() << "\n";
+  os << "- detected: " << result.detected.size() << " ("
+     << static_cast<int>(100.0 * result.coverage() + 0.5) << "%)\n";
+  os << "- patterns applied: " << result.detectedAfterPattern.size() << "\n";
+  os << "- detection tables fetched: " << result.detectionTablesRequested
+     << " (+" << result.tableCacheHits << " cache hits)\n";
+  os << "- injections simulated: " << result.injections << "\n\n";
+
+  os << "## Coverage curve\n\n| pattern | detected | coverage |\n|---|---|---|\n";
+  for (std::size_t p = 0; p < result.detectedAfterPattern.size(); ++p) {
+    const double cov =
+        result.faultList.empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(result.detectedAfterPattern[p]) /
+                  static_cast<double>(result.faultList.size());
+    os << "| " << (p + 1) << " | " << result.detectedAfterPattern[p] << " | "
+       << static_cast<int>(cov + 0.5) << "% |\n";
+  }
+
+  os << "\n## Undetected faults\n\n";
+  bool any = false;
+  for (const std::string& f : result.faultList) {
+    if (result.detected.count(f) == 0) {
+      os << "- `" << f << "`\n";
+      any = true;
+    }
+  }
+  if (!any) os << "(none)\n";
+}
+
+void writeCoverageCsv(std::ostream& os, const CampaignResult& result) {
+  os << "pattern_index,detected,total,coverage_pct\n";
+  for (std::size_t p = 0; p < result.detectedAfterPattern.size(); ++p) {
+    const double cov =
+        result.faultList.empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(result.detectedAfterPattern[p]) /
+                  static_cast<double>(result.faultList.size());
+    os << (p + 1) << "," << result.detectedAfterPattern[p] << ","
+       << result.faultList.size() << "," << cov << "\n";
+  }
+}
+
+void writeMarkdownReport(std::ostream& os, const SeqCampaignResult& result,
+                         const std::string& title) {
+  os << "# " << title << "\n\n";
+  os << "- faults (collapsed): " << result.faultList.size() << "\n";
+  os << "- detected: " << result.detectedCount() << " ("
+     << static_cast<int>(100.0 * result.coverage() + 0.5) << "%)\n";
+  os << "- good-machine steps: " << result.goodSteps << "\n";
+  os << "- shadow-machine steps: " << result.faultySteps << "\n";
+
+  if (!result.detectedAtCycle.empty()) {
+    std::vector<std::size_t> latencies;
+    for (const auto& [sym, cycle] : result.detectedAtCycle) {
+      latencies.push_back(cycle);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    os << "- detection latency (cycles): min " << latencies.front()
+       << ", median " << latencies[latencies.size() / 2] << ", max "
+       << latencies.back() << "\n";
+  }
+
+  os << "\n## Undetected faults\n\n";
+  bool any = false;
+  for (const std::string& f : result.faultList) {
+    if (result.detectedAtCycle.count(f) == 0) {
+      os << "- `" << f << "`\n";
+      any = true;
+    }
+  }
+  if (!any) os << "(none)\n";
+}
+
+}  // namespace vcad::fault

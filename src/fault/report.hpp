@@ -1,0 +1,26 @@
+// Human- and machine-readable reports from fault campaigns: the artifact a
+// test engineer files after sign-off. Markdown for review, CSV for
+// downstream tooling.
+#pragma once
+
+#include <iosfwd>
+
+#include "fault/seq_fault.hpp"
+#include "fault/virtual_sim.hpp"
+
+namespace vcad::fault {
+
+/// Markdown summary: coverage, per-pattern progress, undetected faults,
+/// protocol effort.
+void writeMarkdownReport(std::ostream& os, const CampaignResult& result,
+                         const std::string& title = "Fault campaign");
+
+/// CSV of the coverage curve: pattern_index,detected,total,coverage_pct.
+void writeCoverageCsv(std::ostream& os, const CampaignResult& result);
+
+/// Markdown summary of a sequential campaign, including detection-latency
+/// statistics (min/median/max first-detecting cycle).
+void writeMarkdownReport(std::ostream& os, const SeqCampaignResult& result,
+                         const std::string& title = "Sequential campaign");
+
+}  // namespace vcad::fault

@@ -1,0 +1,68 @@
+#include "fault/serial_sim.hpp"
+
+#include <stdexcept>
+
+namespace vcad::fault {
+
+SerialFaultSimulator::SerialFaultSimulator(const Netlist& netlist,
+                                           std::vector<StuckFault> faults,
+                                           std::vector<std::string> symbols)
+    : netlist_(netlist),
+      eval_(netlist),
+      faults_(std::move(faults)),
+      symbols_(std::move(symbols)) {
+  if (faults_.size() != symbols_.size()) {
+    throw std::invalid_argument(
+        "SerialFaultSimulator: faults/symbols size mismatch");
+  }
+}
+
+SerialFaultSimulator::SerialFaultSimulator(const Netlist& netlist,
+                                           bool dominance)
+    : netlist_(netlist), eval_(netlist) {
+  const CollapsedFaults c = collapseAll(netlist, dominance);
+  faults_ = c.representatives;
+  for (const StuckFault& f : faults_) symbols_.push_back(symbolOf(netlist, f));
+}
+
+CampaignResult SerialFaultSimulator::run(const std::vector<Word>& patterns) {
+  CampaignResult res;
+  res.faultList = symbols_;
+  std::vector<bool> detected(faults_.size(), false);
+
+  for (const Word& pattern : patterns) {
+    const Word golden = eval_.evalOutputs(pattern);
+    ++res.faultSimEvaluations;
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      if (detected[i]) continue;  // fault dropping
+      const Word faulty = eval_.evalOutputs(pattern, faults_[i]);
+      ++res.faultSimEvaluations;
+      if (faulty != golden) {
+        detected[i] = true;
+        res.detected.insert(symbols_[i]);
+      }
+    }
+    res.detectedAfterPattern.push_back(res.detected.size());
+  }
+  return res;
+}
+
+StuckFault flatFaultOf(const Netlist& flat, const std::string& qualifiedSymbol) {
+  if (qualifiedSymbol.size() < 4) {
+    throw std::invalid_argument("bad fault symbol: " + qualifiedSymbol);
+  }
+  const std::string suffix = qualifiedSymbol.substr(qualifiedSymbol.size() - 3);
+  if (suffix != "sa0" && suffix != "sa1") {
+    throw std::invalid_argument("bad fault symbol suffix: " + qualifiedSymbol);
+  }
+  const std::string netName =
+      qualifiedSymbol.substr(0, qualifiedSymbol.size() - 3);
+  const NetId net = flat.findNet(netName);
+  if (net == gate::kNoNet) {
+    throw std::invalid_argument("no net '" + netName +
+                                "' in flattened netlist");
+  }
+  return StuckFault{net, suffix == "sa0" ? Logic::L0 : Logic::L1};
+}
+
+}  // namespace vcad::fault

@@ -1,0 +1,136 @@
+#include "fault/virtual_sim.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace vcad::fault {
+
+VirtualFaultSimulator::VirtualFaultSimulator(
+    Circuit& design, std::vector<FaultClient*> components,
+    std::vector<Connector*> primaryInputs,
+    std::vector<Connector*> primaryOutputs)
+    : design_(design),
+      components_(std::move(components)),
+      pis_(std::move(primaryInputs)),
+      pos_(std::move(primaryOutputs)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("VirtualFaultSimulator: no components");
+  }
+  if (pis_.empty() || pos_.empty()) {
+    throw std::invalid_argument(
+        "VirtualFaultSimulator: need primary inputs and outputs");
+  }
+}
+
+void VirtualFaultSimulator::applyPattern(SimulationController& sim,
+                                         const std::vector<Word>& pattern) {
+  if (pattern.size() != pis_.size()) {
+    throw std::invalid_argument("pattern arity does not match primary inputs");
+  }
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    sim.inject(*pis_[i], pattern[i]);
+  }
+  sim.start();
+}
+
+CampaignResult VirtualFaultSimulator::run(
+    const std::vector<std::vector<Word>>& patterns) {
+  CampaignResult res;
+
+  // --- Phase 1: compose the symbolic fault lists -------------------------
+  std::vector<std::vector<std::string>> qualified(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const std::string prefix = components_[c]->module().name() + "/";
+    for (const std::string& s : components_[c]->faultList()) {
+      qualified[c].push_back(prefix + s);
+      res.faultList.push_back(prefix + s);
+    }
+  }
+
+  // --- Phase 2: per-pattern dynamic estimation ----------------------------
+  // Per-component detection-table cache keyed by the component's observed
+  // input configuration.
+  std::vector<std::map<std::string, DetectionTable>> tableCache(
+      components_.size());
+  for (const std::vector<Word>& pattern : patterns) {
+    // Fault-free reference run.
+    SimulationController ff(design_);
+    applyPattern(ff, pattern);
+    const SimContext ffCtx{ff.scheduler(), nullptr};
+    std::vector<Word> goldenPo;
+    goldenPo.reserve(pos_.size());
+    for (Connector* po : pos_) goldenPo.push_back(po->value(ff.scheduler().id()));
+
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      FaultClient& comp = *components_[c];
+      const std::string prefix = comp.module().name() + "/";
+      const Word inputs = comp.observedInputs(ffCtx);
+      const std::string cacheKey = inputs.toString();
+      auto& cache = tableCache[c];
+      auto cached = cacheTables_ ? cache.find(cacheKey) : cache.end();
+      if (cacheTables_ && cached == cache.end()) {
+        cached = cache.emplace(cacheKey, comp.detectionTable(inputs)).first;
+        ++res.detectionTablesRequested;
+      } else if (cacheTables_) {
+        ++res.tableCacheHits;
+      }
+      const DetectionTable table =
+          cacheTables_ ? cached->second : comp.detectionTable(inputs);
+      if (!cacheTables_) ++res.detectionTablesRequested;
+
+      for (const DetectionTable::Row& row : table.rows()) {
+        // Skip rows whose faults are all already detected.
+        bool anyUndetected = false;
+        for (const std::string& f : row.faults) {
+          if (res.detected.find(prefix + f) == res.detected.end()) {
+            anyUndetected = true;
+            break;
+          }
+        }
+        if (!anyUndetected) continue;
+
+        // Inject the erroneous output configuration: a fresh single-instant
+        // controller with the component's event handling overridden.
+        SimulationController inj(design_);
+        inj.forceOutputs(comp.module(), comp.overridesFor(row.faultyOutput));
+        applyPattern(inj, pattern);
+        ++res.injections;
+
+        bool observable = false;
+        for (std::size_t j = 0; j < pos_.size(); ++j) {
+          if (pos_[j]->value(inj.scheduler().id()) != goldenPo[j]) {
+            observable = true;
+            break;
+          }
+        }
+        if (observable) {
+          for (const std::string& f : row.faults) res.detected.insert(prefix + f);
+        }
+        design_.clearSchedulerState(inj.scheduler().id());
+      }
+    }
+    design_.clearSchedulerState(ff.scheduler().id());
+    res.detectedAfterPattern.push_back(res.detected.size());
+  }
+  return res;
+}
+
+CampaignResult VirtualFaultSimulator::runPacked(
+    const std::vector<Word>& packedPatterns) {
+  std::vector<std::vector<Word>> unpacked;
+  unpacked.reserve(packedPatterns.size());
+  for (const Word& w : packedPatterns) {
+    if (w.width() != static_cast<int>(pis_.size())) {
+      throw std::invalid_argument("packed pattern width != primary inputs");
+    }
+    std::vector<Word> p;
+    p.reserve(pis_.size());
+    for (std::size_t i = 0; i < pis_.size(); ++i) {
+      p.push_back(Word::fromLogic(w.bit(static_cast<int>(i))));
+    }
+    unpacked.push_back(std::move(p));
+  }
+  return run(unpacked);
+}
+
+}  // namespace vcad::fault

@@ -1,0 +1,149 @@
+#include "gate/gate_module.hpp"
+
+#include <stdexcept>
+
+#include "core/wiring.hpp"
+
+namespace vcad::gate {
+
+GateModule::GateModule(std::string name, GateType type,
+                       std::vector<Connector*> inputs, Connector& output,
+                       SimTime delay)
+    : Module(std::move(name)), type_(type), delay_(delay) {
+  const auto [lo, hi] = arityOf(type);
+  const int n = static_cast<int>(inputs.size());
+  if (n < lo || (hi >= 0 && n > hi)) {
+    throw std::invalid_argument("GateModule '" + this->name() + "': " +
+                                toString(type) + " with " + std::to_string(n) +
+                                " inputs");
+  }
+  int i = 0;
+  for (Connector* in : inputs) {
+    if (in == nullptr || in->width() != 1) {
+      throw std::invalid_argument("GateModule '" + this->name() +
+                                  "': inputs must be 1-bit connectors");
+    }
+    inPorts_.push_back(&addInput("i" + std::to_string(i++), *in));
+  }
+  if (output.width() != 1) {
+    throw std::invalid_argument("GateModule '" + this->name() +
+                                "': output must be a 1-bit connector");
+  }
+  outPort_ = &addOutput("o", output);
+}
+
+void GateModule::initialize(SimContext& ctx) {
+  // Constant cells have no inputs and must settle on their own.
+  if (inPorts_.empty()) evaluate(ctx);
+}
+
+void GateModule::evaluate(SimContext& ctx) {
+  std::vector<Logic> ins;
+  ins.reserve(inPorts_.size());
+  for (Port* p : inPorts_) ins.push_back(readInput(ctx, *p).scalar());
+  const Logic out = evalGate(type_, ins);
+  State& st = state<State>(ctx);
+  if (st.hasLast && st.last == out) return;  // no change, no event
+  st.hasLast = true;
+  st.last = out;
+  emit(ctx, *outPort_, Word::fromLogic(out), delay_);
+}
+
+void GateModule::processInputEvent(const SignalToken&, SimContext& ctx) {
+  evaluate(ctx);
+}
+
+ExpandedNetlist expandNetlist(Circuit& parent, const Netlist& nl,
+                              SimTime delay, const std::string& namePrefix) {
+  nl.validate();
+  ExpandedNetlist out;
+
+  // One source connector per net (driven by its PI injection point or its
+  // gate); fanout modules split multi-reader nets.
+  std::vector<Connector*> sourceOf(static_cast<size_t>(nl.netCount()), nullptr);
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    sourceOf[static_cast<size_t>(n)] =
+        &parent.makeBit(namePrefix + ":" + nl.netName(n));
+  }
+
+  // Reader endpoints: readers + primary-output observation taps.
+  struct Endpoint {
+    int gate;  // -1: PO tap
+    int pin;
+  };
+  std::vector<std::vector<Endpoint>> endpoints(
+      static_cast<size_t>(nl.netCount()));
+  for (int g = 0; g < nl.gateCount(); ++g) {
+    const GateNode& gn = nl.gates()[static_cast<size_t>(g)];
+    for (size_t p = 0; p < gn.inputs.size(); ++p) {
+      endpoints[static_cast<size_t>(gn.inputs[p])].push_back(
+          Endpoint{g, static_cast<int>(p)});
+    }
+  }
+  std::vector<int> poTapIndex(static_cast<size_t>(nl.netCount()), -1);
+  for (size_t k = 0; k < nl.primaryOutputs().size(); ++k) {
+    const NetId n = nl.primaryOutputs()[k];
+    poTapIndex[static_cast<size_t>(n)] = static_cast<int>(k);
+    endpoints[static_cast<size_t>(n)].push_back(Endpoint{-1, 0});
+  }
+
+  // Resolve each endpoint's connector, adding fanout modules where needed.
+  std::vector<std::vector<Connector*>> endpointConn(
+      static_cast<size_t>(nl.netCount()));
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    auto& eps = endpoints[static_cast<size_t>(n)];
+    auto& conns = endpointConn[static_cast<size_t>(n)];
+    if (eps.size() <= 1) {
+      conns.assign(eps.size(), sourceOf[static_cast<size_t>(n)]);
+      continue;
+    }
+    std::vector<Fanout::Branch> branches;
+    for (size_t k = 0; k < eps.size(); ++k) {
+      Connector& bc = parent.makeBit(namePrefix + ":" + nl.netName(n) + "#" +
+                                     std::to_string(k));
+      branches.push_back({&bc, 0});
+      conns.push_back(&bc);
+    }
+    parent.make<Fanout>(namePrefix + ":fan:" + nl.netName(n),
+                        *sourceOf[static_cast<size_t>(n)],
+                        std::move(branches));
+  }
+
+  // The gates themselves.
+  std::vector<std::vector<Connector*>> gateIns(
+      static_cast<size_t>(nl.gateCount()));
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const auto& eps = endpoints[static_cast<size_t>(n)];
+    for (size_t k = 0; k < eps.size(); ++k) {
+      if (eps[k].gate < 0) continue;
+      auto& ins = gateIns[static_cast<size_t>(eps[k].gate)];
+      if (ins.size() <= static_cast<size_t>(eps[k].pin)) {
+        ins.resize(static_cast<size_t>(eps[k].pin) + 1, nullptr);
+      }
+      ins[static_cast<size_t>(eps[k].pin)] =
+          endpointConn[static_cast<size_t>(n)][k];
+    }
+  }
+  for (int g = 0; g < nl.gateCount(); ++g) {
+    const GateNode& gn = nl.gates()[static_cast<size_t>(g)];
+    out.gates.push_back(&parent.make<GateModule>(
+        namePrefix + std::to_string(g) + ":" + toString(gn.type),
+        gn.type, gateIns[static_cast<size_t>(g)],
+        *sourceOf[static_cast<size_t>(gn.output)], delay));
+  }
+
+  for (NetId pi : nl.primaryInputs()) {
+    out.inputs.push_back(sourceOf[static_cast<size_t>(pi)]);
+  }
+  out.outputs.resize(nl.primaryOutputs().size(), nullptr);
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const int tap = poTapIndex[static_cast<size_t>(n)];
+    if (tap < 0) continue;
+    // The PO observation endpoint is the last endpoint added for this net.
+    out.outputs[static_cast<size_t>(tap)] =
+        endpointConn[static_cast<size_t>(n)].back();
+  }
+  return out;
+}
+
+}  // namespace vcad::gate

@@ -1,0 +1,60 @@
+// Fine-grain gate-level simulation on the backplane: every gate is its own
+// module with a transport delay, connected through single-bit connectors
+// (with explicit fanout modules). Unlike NetlistModule — which evaluates a
+// whole netlist per instant (zero-delay / cycle semantics) — the expanded
+// form is a true event-driven timing simulation: signals ripple through
+// levels over simulated time, and hazards/glitches appear as real transient
+// events.
+#pragma once
+
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/module.hpp"
+#include "gate/netlist.hpp"
+
+namespace vcad::gate {
+
+/// One gate as a backplane module. Re-evaluates on every input event and
+/// propagates only output *changes* (inertial-free transport delay).
+class GateModule final : public Module {
+ public:
+  GateModule(std::string name, GateType type,
+             std::vector<Connector*> inputs, Connector& output,
+             SimTime delay);
+
+  GateType type() const { return type_; }
+  SimTime delay() const { return delay_; }
+
+  void initialize(SimContext& ctx) override;
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ private:
+  struct State : ModuleState {
+    bool hasLast = false;
+    Logic last = Logic::X;
+  };
+
+  void evaluate(SimContext& ctx);
+
+  GateType type_;
+  SimTime delay_;
+  std::vector<Port*> inPorts_;
+  Port* outPort_;
+};
+
+/// Structural expansion of a netlist into GateModules inside `parent`.
+struct ExpandedNetlist {
+  std::vector<Connector*> inputs;   // one per primary input; inject here
+  std::vector<Connector*> outputs;  // one per primary output; observe here
+  std::vector<GateModule*> gates;   // parallel to netlist gate order
+};
+
+/// Expands `nl` with a uniform per-gate transport `delay`. Constant cells
+/// drive their value at initialization. Multi-reader nets get explicit
+/// fanout modules, per the backplane's point-to-point connector rule.
+ExpandedNetlist expandNetlist(Circuit& parent, const Netlist& nl,
+                              SimTime delay = 1,
+                              const std::string& namePrefix = "g");
+
+}  // namespace vcad::gate

@@ -1,0 +1,260 @@
+#include "gate/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcad::gate {
+
+namespace {
+/// Adds a full-adder bit slice; returns {sum, cout}.
+std::pair<NetId, NetId> fullAdderSlice(Netlist& nl, NetId a, NetId b, NetId cin,
+                                       const std::string& prefix) {
+  const NetId axb = nl.addGate(GateType::Xor, {a, b}, prefix + "_axb");
+  const NetId sum = nl.addGate(GateType::Xor, {axb, cin}, prefix + "_sum");
+  const NetId ab = nl.addGate(GateType::And, {a, b}, prefix + "_ab");
+  const NetId c2 = nl.addGate(GateType::And, {axb, cin}, prefix + "_axbc");
+  const NetId cout = nl.addGate(GateType::Or, {ab, c2}, prefix + "_cout");
+  return {sum, cout};
+}
+}  // namespace
+
+Netlist makeHalfAdder() {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId sum = nl.addGate(GateType::Xor, {a, b}, "sum");
+  const NetId carry = nl.addGate(GateType::And, {a, b}, "carry");
+  nl.markOutput(sum);
+  nl.markOutput(carry);
+  nl.validate();
+  return nl;
+}
+
+Netlist makeFullAdder() {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId cin = nl.addInput("cin");
+  auto [sum, cout] = fullAdderSlice(nl, a, b, cin, "fa");
+  nl.markOutput(sum);
+  nl.markOutput(cout);
+  nl.validate();
+  return nl;
+}
+
+Netlist makeRippleCarryAdder(int width) {
+  if (width < 1) throw std::invalid_argument("adder width must be >= 1");
+  Netlist nl;
+  std::vector<NetId> a(static_cast<size_t>(width));
+  std::vector<NetId> b(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) a[static_cast<size_t>(i)] = nl.addInput("a" + std::to_string(i));
+  for (int i = 0; i < width; ++i) b[static_cast<size_t>(i)] = nl.addInput("b" + std::to_string(i));
+  std::vector<NetId> sums;
+  NetId carry = nl.addGate(GateType::Const0, {}, "c0");
+  for (int i = 0; i < width; ++i) {
+    auto [s, c] = fullAdderSlice(nl, a[static_cast<size_t>(i)],
+                                 b[static_cast<size_t>(i)], carry,
+                                 "s" + std::to_string(i));
+    sums.push_back(s);
+    carry = c;
+  }
+  for (NetId s : sums) nl.markOutput(s);
+  nl.markOutput(carry);
+  nl.validate();
+  return nl;
+}
+
+Netlist makeArrayMultiplier(int width) {
+  if (width < 1 || width > 32) {
+    throw std::invalid_argument("multiplier width must be in [1, 32]");
+  }
+  Netlist nl;
+  std::vector<NetId> a(static_cast<size_t>(width));
+  std::vector<NetId> b(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) a[static_cast<size_t>(i)] = nl.addInput("a" + std::to_string(i));
+  for (int i = 0; i < width; ++i) b[static_cast<size_t>(i)] = nl.addInput("b" + std::to_string(i));
+
+  // Column compression (carry-save array): collect all partial-product bits
+  // by weight, then reduce each column with full/half adders until one bit
+  // of each weight remains.
+  const int pw = 2 * width;
+  // One extra column absorbs the (provably zero) carry out of weight pw-1.
+  std::vector<std::vector<NetId>> col(static_cast<size_t>(pw) + 1);
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < width; ++j) {
+      const NetId p = nl.addGate(
+          GateType::And,
+          {a[static_cast<size_t>(j)], b[static_cast<size_t>(i)]},
+          "pp" + std::to_string(i) + "_" + std::to_string(j));
+      col[static_cast<size_t>(i + j)].push_back(p);
+    }
+  }
+  int slice = 0;
+  for (int w = 0; w < pw; ++w) {
+    auto& c = col[static_cast<size_t>(w)];
+    while (c.size() > 1) {
+      const std::string prefix = "cs" + std::to_string(slice++);
+      if (c.size() >= 3) {
+        const NetId x = c[0], y = c[1], z = c[2];
+        c.erase(c.begin(), c.begin() + 3);
+        auto [s, carry] = fullAdderSlice(nl, x, y, z, prefix);
+        c.push_back(s);
+        col[static_cast<size_t>(w + 1)].push_back(carry);
+      } else {
+        const NetId x = c[0], y = c[1];
+        c.erase(c.begin(), c.begin() + 2);
+        const NetId s = nl.addGate(GateType::Xor, {x, y}, prefix + "_s");
+        const NetId carry = nl.addGate(GateType::And, {x, y}, prefix + "_c");
+        c.push_back(s);
+        col[static_cast<size_t>(w + 1)].push_back(carry);
+      }
+    }
+  }
+  for (int w = 0; w < pw; ++w) {
+    auto& c = col[static_cast<size_t>(w)];
+    NetId bit = c.empty() ? nl.addGate(GateType::Const0, {},
+                                       "pz" + std::to_string(w))
+                          : c[0];
+    // Give each product bit a stable, readable stem name.
+    const NetId out = nl.addGate(GateType::Buf, {bit}, "p" + std::to_string(w));
+    nl.markOutput(out);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist makeParityTree(int width) {
+  if (width < 2) throw std::invalid_argument("parity width must be >= 2");
+  Netlist nl;
+  std::vector<NetId> layer;
+  for (int i = 0; i < width; ++i) layer.push_back(nl.addInput("d" + std::to_string(i)));
+  int k = 0;
+  while (layer.size() > 1) {
+    std::vector<NetId> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.addGate(GateType::Xor, {layer[i], layer[i + 1]},
+                                "x" + std::to_string(k++)));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  nl.markOutput(layer[0]);
+  nl.validate();
+  return nl;
+}
+
+Netlist makeMux(int selBits) {
+  if (selBits < 1 || selBits > 6) {
+    throw std::invalid_argument("mux selBits must be in [1, 6]");
+  }
+  const int n = 1 << selBits;
+  Netlist nl;
+  std::vector<NetId> d;
+  for (int i = 0; i < n; ++i) d.push_back(nl.addInput("d" + std::to_string(i)));
+  std::vector<NetId> sel;
+  for (int i = 0; i < selBits; ++i) sel.push_back(nl.addInput("s" + std::to_string(i)));
+  std::vector<NetId> selN;
+  for (int i = 0; i < selBits; ++i) {
+    selN.push_back(nl.addGate(GateType::Not, {sel[static_cast<size_t>(i)]},
+                              "sn" + std::to_string(i)));
+  }
+  std::vector<NetId> terms;
+  for (int i = 0; i < n; ++i) {
+    std::vector<NetId> ins{d[static_cast<size_t>(i)]};
+    for (int bIdx = 0; bIdx < selBits; ++bIdx) {
+      ins.push_back(((i >> bIdx) & 1) != 0 ? sel[static_cast<size_t>(bIdx)]
+                                           : selN[static_cast<size_t>(bIdx)]);
+    }
+    terms.push_back(nl.addGate(GateType::And, ins, "t" + std::to_string(i)));
+  }
+  NetId out = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    out = nl.addGate(GateType::Or, {out, terms[i]}, "o" + std::to_string(i));
+  }
+  nl.markOutput(out);
+  nl.validate();
+  return nl;
+}
+
+Netlist makeComparator(int width) {
+  if (width < 1) throw std::invalid_argument("comparator width must be >= 1");
+  Netlist nl;
+  std::vector<NetId> eq;
+  for (int i = 0; i < width; ++i) {
+    const NetId a = nl.addInput("a" + std::to_string(i));
+    const NetId b = nl.addInput("b" + std::to_string(i));
+    eq.push_back(nl.addGate(GateType::Xnor, {a, b}, "eq" + std::to_string(i)));
+  }
+  NetId all = eq[0];
+  for (size_t i = 1; i < eq.size(); ++i) {
+    all = nl.addGate(GateType::And, {all, eq[i]}, "and" + std::to_string(i));
+  }
+  nl.markOutput(all);
+  nl.validate();
+  return nl;
+}
+
+Netlist makeIp1HalfAdder() {
+  Netlist nl;
+  const NetId a = nl.addInput("IIP1");
+  const NetId b = nl.addInput("IIP2");
+  const NetId i1 = nl.addGate(GateType::Not, {a}, "I1");
+  const NetId i2 = nl.addGate(GateType::Not, {b}, "I2");
+  const NetId i3 = nl.addGate(GateType::And, {a, i2}, "I3");
+  const NetId i4 = nl.addGate(GateType::And, {i1, b}, "I4");
+  const NetId i5 = nl.addGate(GateType::Or, {i3, i4}, "I5");
+  const NetId i6 = nl.addGate(GateType::And, {a, b}, "I6");
+  const NetId o1 = nl.addGate(GateType::Buf, {i5}, "OIP1");
+  const NetId o2 = nl.addGate(GateType::Buf, {i6}, "OIP2");
+  nl.markOutput(o1);
+  nl.markOutput(o2);
+  nl.validate();
+  return nl;
+}
+
+Netlist makeRandomNetlist(Rng& rng, int nInputs, int nGates, int nOutputs) {
+  if (nInputs < 2 || nGates < 1 || nOutputs < 1) {
+    throw std::invalid_argument("makeRandomNetlist: bad shape");
+  }
+  Netlist nl;
+  std::vector<NetId> avail;
+  for (int i = 0; i < nInputs; ++i) avail.push_back(nl.addInput("pi" + std::to_string(i)));
+  static constexpr GateType kTypes[] = {GateType::And,  GateType::Or,
+                                        GateType::Nand, GateType::Nor,
+                                        GateType::Xor,  GateType::Not};
+  for (int g = 0; g < nGates; ++g) {
+    const GateType t = kTypes[rng.below(6)];
+    std::vector<NetId> ins;
+    const int arity = (t == GateType::Not) ? 1 : 2;
+    for (int k = 0; k < arity; ++k) {
+      ins.push_back(avail[rng.below(avail.size())]);
+    }
+    avail.push_back(nl.addGate(t, ins));
+  }
+  // Prefer sink nets (no readers) as outputs so most logic is observable.
+  std::vector<NetId> sinks;
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    if (!nl.isPrimaryInput(n) && nl.readersOf(n).empty()) sinks.push_back(n);
+  }
+  std::vector<NetId> chosen;
+  for (int i = 0; i < nOutputs; ++i) {
+    if (!sinks.empty()) {
+      const size_t k = rng.below(sinks.size());
+      chosen.push_back(sinks[k]);
+      sinks.erase(sinks.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      // Fall back to any non-input net not yet chosen.
+      NetId n;
+      do {
+        n = static_cast<NetId>(rng.below(static_cast<std::uint64_t>(nl.netCount())));
+      } while (nl.isPrimaryInput(n) ||
+               std::find(chosen.begin(), chosen.end(), n) != chosen.end());
+      chosen.push_back(n);
+    }
+  }
+  for (NetId n : chosen) nl.markOutput(n);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace vcad::gate

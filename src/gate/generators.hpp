@@ -1,0 +1,51 @@
+// Structural netlist generators: the building blocks used by the examples,
+// tests, and benchmark workloads. All generators produce validated
+// combinational netlists with human-readable net names.
+#pragma once
+
+#include "core/rng.hpp"
+#include "gate/netlist.hpp"
+
+namespace vcad::gate {
+
+/// Half adder: inputs a, b; outputs sum (a XOR b), carry (a AND b).
+Netlist makeHalfAdder();
+
+/// Full adder: inputs a, b, cin; outputs sum, cout.
+Netlist makeFullAdder();
+
+/// Ripple-carry adder: inputs a[0..w), b[0..w); outputs s[0..w), cout.
+Netlist makeRippleCarryAdder(int width);
+
+/// Unsigned array multiplier: inputs a[0..w), b[0..w); outputs p[0..2w).
+/// This is the gate-level implementation view of the paper's MULT component
+/// (the private part the provider never discloses).
+Netlist makeArrayMultiplier(int width);
+
+/// XOR parity tree over `width` inputs; one output.
+Netlist makeParityTree(int width);
+
+/// 2^selBits-to-1 multiplexer; inputs d0..dN-1 and sel bits; one output.
+Netlist makeMux(int selBits);
+
+/// Equality comparator over two w-bit words; one output.
+Netlist makeComparator(int width);
+
+/// The paper's Figure 4 IP block IP1: a half adder with internal signals
+/// named I1..I6 (the implementation hidden inside the dashed box). Inputs
+/// IIP1, IIP2; outputs OIP1 (sum stem), OIP2 (carry stem).
+///
+/// Structure (one concrete instantiation — the paper never discloses the
+/// real one, which is the point of IP protection):
+///   I1 = NOT(IIP1)      I2 = NOT(IIP2)
+///   I3 = AND(IIP1, I2)  I4 = AND(I1, IIP2)
+///   I5 = OR(I3, I4)  -> OIP1 = BUF(I5)  (sum)
+///   I6 = AND(IIP1, IIP2) -> OIP2 = BUF(I6)  (carry)
+Netlist makeIp1HalfAdder();
+
+/// Random combinational DAG for property-based testing: `nInputs` primary
+/// inputs, `nGates` gates of random type whose inputs are uniformly chosen
+/// among already-available nets, `nOutputs` outputs sampled among sinks.
+Netlist makeRandomNetlist(Rng& rng, int nInputs, int nGates, int nOutputs);
+
+}  // namespace vcad::gate

@@ -1,0 +1,114 @@
+#include "gate/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcad::gate {
+
+IncrementalEvaluator::IncrementalEvaluator(const Netlist& nl) : nl_(&nl) {
+  nl.validate();
+  const std::vector<int> netLevel = nl.levels();
+  levelOfGate_.resize(static_cast<size_t>(nl.gateCount()));
+  for (int g = 0; g < nl.gateCount(); ++g) {
+    const int lvl =
+        netLevel[static_cast<size_t>(nl.gates()[static_cast<size_t>(g)].output)];
+    levelOfGate_[static_cast<size_t>(g)] = lvl;
+    maxLevel_ = std::max(maxLevel_, lvl);
+  }
+  buckets_.resize(static_cast<size_t>(maxLevel_) + 1);
+  queued_.assign(static_cast<size_t>(nl.gateCount()), false);
+  value_.assign(static_cast<size_t>(nl.netCount()), Logic::X);
+  // Constant cells settle once up front.
+  for (int g = 0; g < nl.gateCount(); ++g) {
+    if (nl.gates()[static_cast<size_t>(g)].inputs.empty()) {
+      buckets_[static_cast<size_t>(levelOfGate_[static_cast<size_t>(g)])]
+          .push_back(g);
+      queued_[static_cast<size_t>(g)] = true;
+    }
+  }
+  propagate();
+}
+
+void IncrementalEvaluator::reset() {
+  value_.assign(static_cast<size_t>(nl_->netCount()), Logic::X);
+  for (int g = 0; g < nl_->gateCount(); ++g) {
+    if (nl_->gates()[static_cast<size_t>(g)].inputs.empty()) {
+      buckets_[static_cast<size_t>(levelOfGate_[static_cast<size_t>(g)])]
+          .push_back(g);
+      queued_[static_cast<size_t>(g)] = true;
+    }
+  }
+  propagate();
+}
+
+void IncrementalEvaluator::enqueueReaders(NetId net) {
+  for (int g : nl_->readersOf(net)) {
+    if (queued_[static_cast<size_t>(g)]) continue;
+    queued_[static_cast<size_t>(g)] = true;
+    buckets_[static_cast<size_t>(levelOfGate_[static_cast<size_t>(g)])]
+        .push_back(g);
+  }
+}
+
+std::size_t IncrementalEvaluator::propagate() {
+  std::size_t evaluated = 0;
+  std::vector<Logic> ins;
+  for (std::size_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+    // Gates enqueue only strictly-deeper readers, so this bucket is final
+    // by the time we reach it.
+    auto& bucket = buckets_[lvl];
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      const int g = bucket[k];
+      queued_[static_cast<size_t>(g)] = false;
+      const GateNode& gn = nl_->gates()[static_cast<size_t>(g)];
+      ins.clear();
+      for (NetId in : gn.inputs) ins.push_back(value_[static_cast<size_t>(in)]);
+      const Logic out = evalGate(gn.type, ins);
+      ++evaluated;
+      ++gateEvals_;
+      if (out == value_[static_cast<size_t>(gn.output)]) continue;
+      value_[static_cast<size_t>(gn.output)] = out;
+      enqueueReaders(gn.output);
+    }
+    bucket.clear();
+  }
+  return evaluated;
+}
+
+std::size_t IncrementalEvaluator::setInput(int piIndex, Logic v) {
+  const auto& pis = nl_->primaryInputs();
+  if (piIndex < 0 || piIndex >= static_cast<int>(pis.size())) {
+    throw std::out_of_range("IncrementalEvaluator::setInput: bad index");
+  }
+  const NetId net = pis[static_cast<size_t>(piIndex)];
+  if (value_[static_cast<size_t>(net)] == v) return 0;
+  value_[static_cast<size_t>(net)] = v;
+  enqueueReaders(net);
+  return propagate();
+}
+
+std::size_t IncrementalEvaluator::setInputs(const Word& inputs) {
+  if (inputs.width() != nl_->inputCount()) {
+    throw std::invalid_argument("IncrementalEvaluator: input width mismatch");
+  }
+  const auto& pis = nl_->primaryInputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const NetId net = pis[i];
+    const Logic v = inputs.bit(static_cast<int>(i));
+    if (value_[static_cast<size_t>(net)] == v) continue;
+    value_[static_cast<size_t>(net)] = v;
+    enqueueReaders(net);
+  }
+  return propagate();
+}
+
+Word IncrementalEvaluator::outputs() const {
+  const auto& pos = nl_->primaryOutputs();
+  Word w(static_cast<int>(pos.size()));
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    w.setBit(static_cast<int>(i), value_[static_cast<size_t>(pos[i])]);
+  }
+  return w;
+}
+
+}  // namespace vcad::gate

@@ -1,0 +1,56 @@
+// Selective-trace (event-driven) netlist evaluation: instead of
+// re-evaluating every gate on each input change, only gates downstream of
+// actually-changed nets are re-evaluated, in levelized order — the classic
+// efficiency technique of event-driven gate-level simulators.
+//
+// Complements NetlistEvaluator (full passes, stateless, shareable): an
+// IncrementalEvaluator carries net state between calls and is therefore
+// owned per simulation stream.
+#pragma once
+
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace vcad::gate {
+
+class IncrementalEvaluator {
+ public:
+  explicit IncrementalEvaluator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Applies a full input word; returns the number of gates re-evaluated.
+  std::size_t setInputs(const Word& inputs);
+
+  /// Changes a single primary input; returns gates re-evaluated.
+  std::size_t setInput(int piIndex, Logic value);
+
+  /// Current value of any net.
+  Logic value(NetId net) const { return value_[static_cast<size_t>(net)]; }
+
+  /// Current primary-output word.
+  Word outputs() const;
+
+  /// Resets all nets to X.
+  void reset();
+
+  /// Total gate evaluations since construction/reset (the work metric the
+  /// selective trace is supposed to shrink).
+  std::uint64_t gateEvals() const { return gateEvals_; }
+
+ private:
+  void enqueueReaders(NetId net);
+  std::size_t propagate();
+
+  const Netlist* nl_;
+  std::vector<int> levelOfGate_;
+  int maxLevel_ = 0;
+  std::vector<Logic> value_;
+  // Levelized work queue: one bucket of gate indices per level.
+  std::vector<std::vector<int>> buckets_;
+  std::vector<bool> queued_;
+  std::uint64_t gateEvals_ = 0;
+};
+
+}  // namespace vcad::gate

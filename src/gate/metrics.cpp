@@ -1,0 +1,94 @@
+#include "gate/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcad::gate {
+
+double areaOf(const Netlist& nl, const TechParams& tech) {
+  double area = 0.0;
+  for (const GateNode& g : nl.gates()) {
+    switch (g.type) {
+      case GateType::Const0:
+      case GateType::Const1:
+        break;  // tie cells: negligible
+      case GateType::Not:
+      case GateType::Buf:
+        area += tech.inverterAreaUm2;
+        break;
+      default:
+        area += tech.areaPerInputUm2 * static_cast<double>(g.inputs.size());
+        break;
+    }
+  }
+  return area;
+}
+
+double criticalPathNs(const Netlist& nl, const TechParams& tech) {
+  const std::vector<int> lvl = nl.levels();
+  int maxLevel = 0;
+  for (NetId out : nl.primaryOutputs()) {
+    maxLevel = std::max(maxLevel, lvl[static_cast<size_t>(out)]);
+  }
+  return tech.delayPerLevelNs * static_cast<double>(maxLevel);
+}
+
+double netCapfF(const Netlist& nl, NetId net, const TechParams& tech) {
+  return tech.capBasefF +
+         tech.capPerFanoutfF * static_cast<double>(nl.fanoutOf(net));
+}
+
+std::uint64_t toggles(const std::vector<Logic>& prev,
+                      const std::vector<Logic>& curr) {
+  if (prev.size() != curr.size()) {
+    throw std::invalid_argument("toggles: snapshot size mismatch");
+  }
+  std::uint64_t n = 0;
+  for (size_t i = 0; i < prev.size(); ++i) {
+    const bool known = isKnown(prev[i]) && isKnown(curr[i]);
+    if (!known || prev[i] != curr[i]) ++n;
+  }
+  return n;
+}
+
+double transitionEnergyPj(const Netlist& nl, const std::vector<Logic>& prev,
+                          const std::vector<Logic>& curr,
+                          const TechParams& tech) {
+  if (prev.size() != curr.size() ||
+      prev.size() != static_cast<size_t>(nl.netCount())) {
+    throw std::invalid_argument("transitionEnergyPj: snapshot size mismatch");
+  }
+  double energyfFV2 = 0.0;
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const size_t i = static_cast<size_t>(n);
+    const bool known = isKnown(prev[i]) && isKnown(curr[i]);
+    if (!known || prev[i] != curr[i]) {
+      energyfFV2 += netCapfF(nl, n, tech);
+    }
+  }
+  // 1/2 * C[fF] * V^2 -> femtojoules; convert to picojoules.
+  return 0.5 * energyfFV2 * tech.vdd * tech.vdd * 1e-3;
+}
+
+PowerResult gateLevelPower(const Netlist& nl, const std::vector<Word>& patterns,
+                           const TechParams& tech) {
+  PowerResult res;
+  if (patterns.size() < 2) return res;
+  NetlistEvaluator eval(nl);
+  std::vector<Logic> prev = eval.evaluate(patterns[0]);
+  for (size_t p = 1; p < patterns.size(); ++p) {
+    std::vector<Logic> curr = eval.evaluate(patterns[p]);
+    const double ePj = transitionEnergyPj(nl, prev, curr, tech);
+    // power for this transition: E / T, T = 1/clockHz.
+    const double pMw = ePj * 1e-12 * tech.clockHz * 1e3;
+    res.peakPowerMw = std::max(res.peakPowerMw, pMw);
+    res.avgPowerMw += pMw;
+    res.totalToggles += toggles(prev, curr);
+    ++res.transitions;
+    prev = std::move(curr);
+  }
+  res.avgPowerMw /= static_cast<double>(res.transitions);
+  return res;
+}
+
+}  // namespace vcad::gate

@@ -1,0 +1,160 @@
+#include "gate/netlist_io.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vcad::gate {
+
+namespace {
+
+GateType gateTypeFromString(const std::string& s, int line) {
+  static const std::map<std::string, GateType> kTypes = {
+      {"BUF", GateType::Buf},     {"NOT", GateType::Not},
+      {"AND", GateType::And},     {"OR", GateType::Or},
+      {"NAND", GateType::Nand},   {"NOR", GateType::Nor},
+      {"XOR", GateType::Xor},     {"XNOR", GateType::Xnor},
+      {"CONST0", GateType::Const0}, {"CONST1", GateType::Const1},
+  };
+  auto it = kTypes.find(s);
+  if (it == kTypes.end()) {
+    throw std::runtime_error("line " + std::to_string(line) +
+                             ": unknown gate type '" + s + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> tokenize(const std::string& lineText) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(lineText);
+  std::string tok;
+  while (ss >> tok) {
+    if (tok[0] == '#') break;  // comment to end of line
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+void writeNetlist(std::ostream& os, const Netlist& nl,
+                  const std::string& modelName) {
+  nl.validate();
+  os << ".model " << modelName << "\n.inputs";
+  for (NetId pi : nl.primaryInputs()) os << " " << nl.netName(pi);
+  os << "\n.outputs";
+  for (NetId po : nl.primaryOutputs()) os << " " << nl.netName(po);
+  os << "\n";
+  for (int g : nl.topoOrder()) {
+    const GateNode& gn = nl.gates()[static_cast<size_t>(g)];
+    os << ".gate " << toString(gn.type) << " " << nl.netName(gn.output);
+    for (NetId in : gn.inputs) os << " " << nl.netName(in);
+    os << "\n";
+  }
+  os << ".end\n";
+}
+
+std::string netlistToString(const Netlist& nl, const std::string& modelName) {
+  std::ostringstream ss;
+  writeNetlist(ss, nl, modelName);
+  return ss.str();
+}
+
+Netlist parseNetlist(std::istream& is) {
+  Netlist nl;
+  std::map<std::string, NetId> nets;
+  std::vector<std::string> outputNames;
+  bool sawInputs = false;
+  std::string lineText;
+  int line = 0;
+
+  auto netOf = [&](const std::string& name, int atLine) -> NetId {
+    auto it = nets.find(name);
+    if (it != nets.end()) return it->second;
+    (void)atLine;
+    const NetId id = nl.addNet(name);
+    nets[name] = id;
+    return id;
+  };
+
+  while (std::getline(is, lineText)) {
+    ++line;
+    const auto tokens = tokenize(lineText);
+    if (tokens.empty()) continue;
+    const std::string& kw = tokens[0];
+    if (kw == ".model") continue;
+    if (kw == ".end") break;
+    if (kw == ".inputs") {
+      if (sawInputs) {
+        throw std::runtime_error("line " + std::to_string(line) +
+                                 ": duplicate .inputs");
+      }
+      sawInputs = true;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        if (nets.count(tokens[i])) {
+          throw std::runtime_error("line " + std::to_string(line) +
+                                   ": duplicate net '" + tokens[i] + "'");
+        }
+        nets[tokens[i]] = nl.addInput(tokens[i]);
+      }
+      continue;
+    }
+    if (kw == ".outputs") {
+      for (size_t i = 1; i < tokens.size(); ++i) outputNames.push_back(tokens[i]);
+      continue;
+    }
+    if (kw == ".gate") {
+      if (tokens.size() < 3) {
+        throw std::runtime_error("line " + std::to_string(line) +
+                                 ": .gate needs a type and an output net");
+      }
+      const GateType type = gateTypeFromString(tokens[1], line);
+      const NetId out = netOf(tokens[2], line);
+      std::vector<NetId> ins;
+      for (size_t i = 3; i < tokens.size(); ++i) {
+        ins.push_back(netOf(tokens[i], line));
+      }
+      try {
+        nl.addGateDriving(type, std::move(ins), out);
+      } catch (const std::exception& e) {
+        throw std::runtime_error("line " + std::to_string(line) + ": " +
+                                 e.what());
+      }
+      continue;
+    }
+    throw std::runtime_error("line " + std::to_string(line) +
+                             ": unknown directive '" + kw + "'");
+  }
+  for (const std::string& name : outputNames) {
+    auto it = nets.find(name);
+    if (it == nets.end()) {
+      throw std::runtime_error("output net '" + name + "' never defined");
+    }
+    nl.markOutput(it->second);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist parseNetlist(const std::string& text) {
+  std::istringstream ss(text);
+  return parseNetlist(ss);
+}
+
+Netlist makeC17() {
+  // ISCAS-85 c17, NAND-only. Net names follow the classic numbering.
+  return parseNetlist(R"(.model c17
+.inputs N1 N2 N3 N6 N7
+.outputs N22 N23
+.gate NAND N10 N1 N3
+.gate NAND N11 N3 N6
+.gate NAND N16 N2 N11
+.gate NAND N19 N11 N7
+.gate NAND N22 N10 N16
+.gate NAND N23 N16 N19
+.end
+)");
+}
+
+}  // namespace vcad::gate

@@ -1,0 +1,39 @@
+// Text persistence for netlists: a small BLIF-flavoured structural format,
+// so circuits can be stored, exchanged, and versioned outside C++ code.
+//
+//   # comment
+//   .model adder           (optional)
+//   .inputs a b cin
+//   .outputs sum cout
+//   .gate XOR t1 a b       (.gate TYPE <output-net> <input-nets...>)
+//   .gate XOR sum t1 cin
+//   ...
+//   .end                   (optional)
+//
+// Net names are introduced implicitly by use; every non-input net must be
+// driven by exactly one gate (checked by Netlist::validate on load).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gate/netlist.hpp"
+
+namespace vcad::gate {
+
+/// Serializes a netlist to the text format.
+void writeNetlist(std::ostream& os, const Netlist& nl,
+                  const std::string& modelName = "top");
+std::string netlistToString(const Netlist& nl,
+                            const std::string& modelName = "top");
+
+/// Parses the text format. Throws std::runtime_error with a line number on
+/// malformed input; the returned netlist is validated.
+Netlist parseNetlist(std::istream& is);
+Netlist parseNetlist(const std::string& text);
+
+/// The ISCAS-85 c17 benchmark circuit (6 NAND gates), the canonical tiny
+/// test-generation example.
+Netlist makeC17();
+
+}  // namespace vcad::gate

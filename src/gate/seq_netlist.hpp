@@ -1,0 +1,84 @@
+// Sequential netlists: a combinational core plus a state register, in the
+// classic Huffman model. This is the substrate for the paper's claimed
+// extension of virtual fault simulation "to general fault models and
+// sequential circuits".
+//
+// Convention: the first `stateBits` primary inputs of the combinational
+// core are the current-state bits, and the first `stateBits` primary
+// outputs are the next-state bits. The remaining pins are the machine's
+// real inputs and outputs.
+#pragma once
+
+#include "core/rng.hpp"
+#include "gate/netlist.hpp"
+
+namespace vcad::gate {
+
+class SeqNetlist {
+ public:
+  SeqNetlist(Netlist comb, int stateBits, Word resetState);
+
+  const Netlist& comb() const { return comb_; }
+  int stateBits() const { return stateBits_; }
+  int inputBits() const { return comb_.inputCount() - stateBits_; }
+  int outputBits() const { return comb_.outputCount() - stateBits_; }
+  const Word& resetState() const { return resetState_; }
+
+  /// Packs (state, inputs) into the combinational core's PI word.
+  Word packInputs(const Word& state, const Word& inputs) const;
+
+  /// Splits the core's PO word into {nextState, outputs}.
+  std::pair<Word, Word> splitOutputs(const Word& combOutputs) const;
+
+ private:
+  Netlist comb_;
+  int stateBits_;
+  Word resetState_;
+};
+
+/// Steps a sequential machine, optionally with a persistent stuck-at fault
+/// in the combinational core (the standard sequential fault model: the
+/// fault is present on every cycle and corrupts both outputs and next
+/// state).
+class SeqEvaluator {
+ public:
+  explicit SeqEvaluator(const SeqNetlist& seq,
+                        std::optional<StuckFault> fault = {});
+
+  const Word& state() const { return state_; }
+  void reset();
+  void setState(Word state);
+
+  /// One clock cycle: returns the machine outputs for `inputs` and advances
+  /// the state register.
+  Word step(const Word& inputs);
+
+  /// Runs a whole input sequence from reset; returns per-cycle outputs.
+  std::vector<Word> run(const std::vector<Word>& inputSequence);
+
+ private:
+  const SeqNetlist* seq_;
+  NetlistEvaluator eval_;
+  std::optional<StuckFault> fault_;
+  Word state_;
+};
+
+// --- generators --------------------------------------------------------
+
+/// Up-counter with enable: input {en}; output = counter value; state =
+/// counter bits.
+SeqNetlist makeCounter(int width);
+
+/// Galois LFSR with enable input and serial-in XOR tap; output = register.
+SeqNetlist makeLfsr(int width, std::uint64_t taps);
+
+/// Accumulator: state += input when en; inputs {en, d[width]}; output =
+/// accumulator value.
+SeqNetlist makeAccumulator(int width);
+
+/// Random Moore machine: random combinational next-state/output logic over
+/// `stateBits` state bits and `inputBits` inputs.
+SeqNetlist makeRandomMachine(Rng& rng, int stateBits, int inputBits,
+                             int outputBits, int gates);
+
+}  // namespace vcad::gate

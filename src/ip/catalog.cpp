@@ -1,0 +1,67 @@
+#include "ip/catalog.hpp"
+
+namespace vcad::ip {
+
+std::string toString(ModelLevel level) {
+  switch (level) {
+    case ModelLevel::None:
+      return "none";
+    case ModelLevel::Static:
+      return "static";
+    case ModelLevel::Dynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+void IpComponentSpec::serialize(net::ByteBuffer& buf) const {
+  buf.writeString(name);
+  buf.writeString(description);
+  buf.writeU32(static_cast<std::uint32_t>(minWidth));
+  buf.writeU32(static_cast<std::uint32_t>(maxWidth));
+  buf.writeU8(static_cast<std::uint8_t>(functional));
+  buf.writeU8(static_cast<std::uint8_t>(power));
+  buf.writeU8(static_cast<std::uint8_t>(timing));
+  buf.writeU8(static_cast<std::uint8_t>(area));
+  buf.writeU8(static_cast<std::uint8_t>(testability));
+  buf.writeDouble(staticPowerMw);
+  buf.writeDouble(staticAreaUm2);
+  buf.writeDouble(staticTimingNs);
+  buf.writeBool(hasLinearPowerModel);
+  buf.writeDouble(linearPower.interceptMw);
+  buf.writeDouble(linearPower.slopeMwPerToggle);
+  buf.writeDouble(fees.instantiateCents);
+  buf.writeDouble(fees.perEvalCents);
+  buf.writeDouble(fees.perPowerPatternCents);
+  buf.writeDouble(fees.perTimingQueryCents);
+  buf.writeDouble(fees.perAreaQueryCents);
+  buf.writeDouble(fees.perDetectionTableCents);
+}
+
+IpComponentSpec IpComponentSpec::deserialize(net::ByteBuffer& buf) {
+  IpComponentSpec s;
+  s.name = buf.readString();
+  s.description = buf.readString();
+  s.minWidth = static_cast<int>(buf.readU32());
+  s.maxWidth = static_cast<int>(buf.readU32());
+  s.functional = static_cast<ModelLevel>(buf.readU8());
+  s.power = static_cast<ModelLevel>(buf.readU8());
+  s.timing = static_cast<ModelLevel>(buf.readU8());
+  s.area = static_cast<ModelLevel>(buf.readU8());
+  s.testability = static_cast<ModelLevel>(buf.readU8());
+  s.staticPowerMw = buf.readDouble();
+  s.staticAreaUm2 = buf.readDouble();
+  s.staticTimingNs = buf.readDouble();
+  s.hasLinearPowerModel = buf.readBool();
+  s.linearPower.interceptMw = buf.readDouble();
+  s.linearPower.slopeMwPerToggle = buf.readDouble();
+  s.fees.instantiateCents = buf.readDouble();
+  s.fees.perEvalCents = buf.readDouble();
+  s.fees.perPowerPatternCents = buf.readDouble();
+  s.fees.perTimingQueryCents = buf.readDouble();
+  s.fees.perAreaQueryCents = buf.readDouble();
+  s.fees.perDetectionTableCents = buf.readDouble();
+  return s;
+}
+
+}  // namespace vcad::ip

@@ -1,0 +1,61 @@
+// IP component catalog: what a provider advertises about a component before
+// any purchase — the "Setup: Functional model 1, Power model 2, ..." lists
+// of the paper's Figure 1.
+//
+// Model availability levels:
+//   None    (0): the provider offers nothing for this metric.
+//   Static  (1): precharacterized data shipped with the open specification
+//                (runs on the user's machine, no IP exposure).
+//   Dynamic (2): accurate context-dependent estimation executed on the
+//                provider's server against the private implementation,
+//                possibly for a fee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "estim/power_estimators.hpp"
+#include "net/serialize.hpp"
+
+namespace vcad::ip {
+
+enum class ModelLevel : std::uint8_t { None = 0, Static = 1, Dynamic = 2 };
+
+std::string toString(ModelLevel level);
+
+/// Provider fees, in cents, mirroring Table 1's "cost per pattern" column.
+struct FeeSchedule {
+  double instantiateCents = 0.0;
+  double perEvalCents = 0.01;          // fully-remote functional evaluation
+  double perPowerPatternCents = 0.1;   // gate-level power, per pattern
+  double perTimingQueryCents = 0.02;
+  double perAreaQueryCents = 0.01;
+  double perDetectionTableCents = 0.05;
+};
+
+struct IpComponentSpec {
+  std::string name;
+  std::string description;
+  int minWidth = 1;
+  int maxWidth = 32;
+
+  ModelLevel functional = ModelLevel::Static;  // Static: public part released
+  ModelLevel power = ModelLevel::None;
+  ModelLevel timing = ModelLevel::None;
+  ModelLevel area = ModelLevel::None;
+  ModelLevel testability = ModelLevel::None;  // detection-table protocol
+
+  // Precharacterized data published when the matching level is >= Static.
+  double staticPowerMw = 0.0;
+  double staticAreaUm2 = 0.0;
+  double staticTimingNs = 0.0;
+  bool hasLinearPowerModel = false;
+  estim::LinearPowerModel linearPower;
+
+  FeeSchedule fees;
+
+  void serialize(net::ByteBuffer& buf) const;
+  static IpComponentSpec deserialize(net::ByteBuffer& buf);
+};
+
+}  // namespace vcad::ip

@@ -1,0 +1,126 @@
+#include "ip/negotiation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ip/remote_component.hpp"
+
+namespace vcad::ip {
+
+void EstimatorOffer::serialize(net::ByteBuffer& buf) const {
+  buf.writeString(name);
+  buf.writeDouble(errorPct);
+  buf.writeDouble(costPerUseCents);
+  buf.writeBool(remote);
+}
+
+EstimatorOffer EstimatorOffer::deserialize(net::ByteBuffer& buf) {
+  EstimatorOffer o;
+  o.name = buf.readString();
+  o.errorPct = buf.readDouble();
+  o.costPerUseCents = buf.readDouble();
+  o.remote = buf.readBool();
+  return o;
+}
+
+std::vector<EstimatorOffer> offersOf(const IpComponentSpec& spec,
+                                     ParamKind kind) {
+  std::vector<EstimatorOffer> offers;
+  switch (kind) {
+    case ParamKind::AvgPower:
+      if (spec.power >= ModelLevel::Static) {
+        offers.push_back({"constant", 25.0, 0.0, false});
+        if (spec.hasLinearPowerModel) {
+          offers.push_back({"linear-regression", 20.0, 0.0, false});
+        }
+      }
+      if (spec.power >= ModelLevel::Dynamic) {
+        offers.push_back({"gate-level-toggle", 10.0,
+                          spec.fees.perPowerPatternCents, true});
+      }
+      break;
+    case ParamKind::Delay:
+      if (spec.timing >= ModelLevel::Static) {
+        offers.push_back({"datasheet-timing", 20.0, 0.0, false});
+      }
+      if (spec.timing >= ModelLevel::Dynamic) {
+        offers.push_back({"gate-level-timing", 5.0,
+                          spec.fees.perTimingQueryCents, true});
+      }
+      break;
+    case ParamKind::Area:
+      if (spec.area >= ModelLevel::Static) {
+        offers.push_back({"datasheet-area", 15.0, 0.0, false});
+      }
+      if (spec.area >= ModelLevel::Dynamic) {
+        offers.push_back({"gate-level-area", 2.0,
+                          spec.fees.perAreaQueryCents, true});
+      }
+      break;
+    default:
+      break;
+  }
+  return offers;
+}
+
+NegotiationResult resolveNegotiation(const IpComponentSpec& spec,
+                                     ParamKind kind, double maxCostCents,
+                                     double maxErrorPct) {
+  const auto offers = offersOf(spec, kind);
+  NegotiationResult res;
+
+  // Best (most accurate) offer within both bounds.
+  const EstimatorOffer* best = nullptr;
+  for (const auto& o : offers) {
+    if (o.errorPct > maxErrorPct || o.costPerUseCents > maxCostCents) continue;
+    if (best == nullptr || o.errorPct < best->errorPct) best = &o;
+  }
+  if (best != nullptr) {
+    res.outcome = NegotiationResult::Outcome::Accepted;
+    res.offer = *best;
+    return res;
+  }
+
+  // Counter-offer: the cheapest offer that still meets the accuracy bound.
+  const EstimatorOffer* counter = nullptr;
+  for (const auto& o : offers) {
+    if (o.errorPct > maxErrorPct) continue;
+    if (counter == nullptr || o.costPerUseCents < counter->costPerUseCents) {
+      counter = &o;
+    }
+  }
+  if (counter != nullptr) {
+    res.outcome = NegotiationResult::Outcome::CounterOffer;
+    res.offer = *counter;
+    return res;
+  }
+  res.outcome = NegotiationResult::Outcome::Unavailable;
+  return res;
+}
+
+NegotiationResult negotiateEstimator(ProviderHandle& provider,
+                                     std::uint64_t instance, ParamKind kind,
+                                     double maxCostCents, double maxErrorPct) {
+  rmi::Args args;
+  args.addU64(static_cast<std::uint64_t>(kind));
+  args.addDouble(maxCostCents);
+  args.addDouble(maxErrorPct);
+  rmi::Response resp =
+      provider.call(rmi::MethodId::Negotiate, instance, std::move(args));
+  NegotiationResult res;
+  if (resp.status == rmi::Status::Ok) {
+    res.outcome = NegotiationResult::Outcome::Accepted;
+    res.offer = EstimatorOffer::deserialize(resp.payload);
+  } else if (resp.status == rmi::Status::PaymentRequired) {
+    res.outcome = NegotiationResult::Outcome::CounterOffer;
+    res.offer = EstimatorOffer::deserialize(resp.payload);
+  } else if (resp.status == rmi::Status::NotFound ||
+             resp.status == rmi::Status::Error) {
+    res.outcome = NegotiationResult::Outcome::Unavailable;
+  } else {
+    throw std::runtime_error("negotiation failed: " + resp.error);
+  }
+  return res;
+}
+
+}  // namespace vcad::ip

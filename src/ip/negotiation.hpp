@@ -1,0 +1,64 @@
+// Interactive estimator negotiation — the paper's declared future
+// development ("flexible simulation setup with interactive client-server
+// negotiation of simulation parameters").
+//
+// During setup the user and provider negotiate which model will be used for
+// each parameter: the client states constraints (maximum acceptable error,
+// maximum fee), the provider answers with the best offer satisfying them,
+// or — when the budget is too tight for the requested accuracy — with a
+// *counter-offer* (the cheapest estimator meeting the accuracy bound) the
+// client may accept or decline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimation.hpp"
+#include "ip/catalog.hpp"
+
+namespace vcad::ip {
+
+class ProviderHandle;
+
+/// One estimator the provider is willing to run (or release) for a
+/// parameter of a component.
+struct EstimatorOffer {
+  std::string name;
+  double errorPct = 0.0;
+  double costPerUseCents = 0.0;
+  bool remote = false;
+
+  void serialize(net::ByteBuffer& buf) const;
+  static EstimatorOffer deserialize(net::ByteBuffer& buf);
+};
+
+/// The provider's offer book for a parameter, derived from the component's
+/// advertised model levels (constant/regression locally at Static level,
+/// gate-level remotely at Dynamic level).
+std::vector<EstimatorOffer> offersOf(const IpComponentSpec& spec,
+                                     ParamKind kind);
+
+/// Outcome of one negotiation round.
+struct NegotiationResult {
+  enum class Outcome {
+    Accepted,      // an offer satisfies both constraints
+    CounterOffer,  // accuracy is achievable, but above the fee budget
+    Unavailable,   // no model meets the accuracy bound at any price
+  };
+  Outcome outcome = Outcome::Unavailable;
+  EstimatorOffer offer;  // the accepted offer or the counter-offer
+};
+
+/// Client side: one negotiation round with the provider over RMI.
+NegotiationResult negotiateEstimator(ProviderHandle& provider,
+                                     std::uint64_t instance, ParamKind kind,
+                                     double maxCostCents, double maxErrorPct);
+
+/// Server side: pure offer resolution (used by ProviderServer::dispatch and
+/// directly testable).
+NegotiationResult resolveNegotiation(const IpComponentSpec& spec,
+                                     ParamKind kind, double maxCostCents,
+                                     double maxErrorPct);
+
+}  // namespace vcad::ip

@@ -1,0 +1,365 @@
+#include "ip/provider_server.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "ip/negotiation.hpp"
+
+namespace vcad::ip {
+
+using rmi::MethodId;
+using rmi::Request;
+using rmi::Response;
+using rmi::Status;
+
+ProviderServer::ProviderServer(std::string hostName, LogSink* log,
+                               gate::TechParams tech)
+    : hostName_(std::move(hostName)), log_(log), tech_(tech) {}
+
+void ProviderServer::registerComponent(IpComponentSpec spec,
+                                       NetlistFactory netlistFactory,
+                                       PublicPartFactory publicPartFactory) {
+  if (!netlistFactory) {
+    throw std::invalid_argument("registerComponent: null netlist factory");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string name = spec.name;
+  components_[name] = Registration{std::move(spec), std::move(netlistFactory),
+                                   nullptr, std::move(publicPartFactory)};
+}
+
+void ProviderServer::registerSequentialComponent(IpComponentSpec spec,
+                                                 SeqFactory factory) {
+  if (!factory) {
+    throw std::invalid_argument(
+        "registerSequentialComponent: null machine factory");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string name = spec.name;
+  components_[name] =
+      Registration{std::move(spec), nullptr, std::move(factory), nullptr};
+}
+
+const IpComponentSpec* ProviderServer::findSpec(
+    const std::string& component) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = components_.find(component);
+  return it == components_.end() ? nullptr : &it->second.spec;
+}
+
+PublicPart ProviderServer::downloadPublicPart(const std::string& component,
+                                              std::uint64_t param) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = components_.find(component);
+  if (it == components_.end()) {
+    throw std::invalid_argument("no such component: " + component);
+  }
+  if (it->second.spec.functional == ModelLevel::None ||
+      !it->second.publicPartFactory) {
+    return PublicPart{};  // provider releases no local functional model
+  }
+  return it->second.publicPartFactory(param);
+}
+
+double ProviderServer::sessionFeesCents(rmi::SessionId session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0.0 : it->second.feesCents;
+}
+
+std::size_t ProviderServer::liveInstanceCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instances_.size();
+}
+
+const PrivateComponent* ProviderServer::instanceForTesting(
+    rmi::InstanceId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.impl.get();
+}
+
+Response ProviderServer::dispatch(const Request& request) {
+  try {
+    return handle(request);
+  } catch (const std::exception& e) {
+    if (log_ != nullptr) {
+      log_->error("provider '" + hostName_ + "': " + e.what());
+    }
+    return Response::failure(Status::Error, e.what());
+  }
+}
+
+void ProviderServer::charge(rmi::SessionId session, rmi::MethodId method,
+                            double cents, Response& response) {
+  Session& sess = sessions_[session];
+  sess.feesCents += cents;
+  ChargeItem& item = sess.items[method];
+  ++item.calls;
+  item.cents += cents;
+  response.feeCents = cents;
+}
+
+ProviderServer::Instance* ProviderServer::findInstance(
+    rmi::InstanceId id, rmi::SessionId session) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return nullptr;
+  // Instances are private to the session that created them.
+  if (it->second.session != session) return nullptr;
+  return &it->second;
+}
+
+Response ProviderServer::instantiate(const Request& request) {
+  auto it = components_.find(request.component);
+  if (it == components_.end()) {
+    return Response::failure(Status::NotFound,
+                             "unknown component '" + request.component + "'");
+  }
+  rmi::Args args = request.args;
+  const std::uint64_t param = args.takeU64();
+  const IpComponentSpec& spec = it->second.spec;
+  if (param < static_cast<std::uint64_t>(spec.minWidth) ||
+      param > static_cast<std::uint64_t>(spec.maxWidth)) {
+    return Response::failure(Status::Error,
+                             "parameter " + std::to_string(param) +
+                                 " outside [" + std::to_string(spec.minWidth) +
+                                 ", " + std::to_string(spec.maxWidth) + "]");
+  }
+  Instance inst;
+  inst.component = request.component;
+  inst.session = request.session;
+  if (it->second.seqFactory) {
+    inst.seqImpl =
+        std::make_unique<SeqPrivateComponent>(it->second.seqFactory(param));
+  } else {
+    inst.impl = std::make_unique<PrivateComponent>(
+        it->second.netlistFactory(param), tech_, /*dominance=*/true,
+        computeScale_);
+  }
+  const rmi::InstanceId id = nextInstance_++;
+  instances_[id] = std::move(inst);
+
+  Response resp;
+  resp.payload.writeU64(id);
+  charge(request.session, MethodId::Instantiate, spec.fees.instantiateCents, resp);
+  if (log_ != nullptr) {
+    log_->info("provider '" + hostName_ + "': instantiated " +
+               request.component + "(" + std::to_string(param) +
+               ") as instance " + std::to_string(id));
+  }
+  return resp;
+}
+
+Response ProviderServer::handle(const Request& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (request.method == MethodId::OpenSession) {
+    const rmi::SessionId id = nextSession_++;
+    sessions_[id] = Session{};
+    Response resp;
+    resp.payload.writeU64(id);
+    return resp;
+  }
+
+  if (sessions_.find(request.session) == sessions_.end()) {
+    return Response::failure(Status::Error, "unknown session");
+  }
+
+  switch (request.method) {
+    case MethodId::CloseSession: {
+      // Instances owned by the session die with it.
+      for (auto it = instances_.begin(); it != instances_.end();) {
+        if (it->second.session == request.session) {
+          it = instances_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return Response{};
+    }
+    case MethodId::GetCatalog: {
+      Response resp;
+      resp.payload.writeU32(static_cast<std::uint32_t>(components_.size()));
+      for (const auto& [name, reg] : components_) {
+        reg.spec.serialize(resp.payload);
+      }
+      return resp;
+    }
+    case MethodId::Instantiate:
+      return instantiate(request);
+    default:
+      break;
+  }
+
+  // Remaining methods operate on an instance.
+  Instance* inst = findInstance(request.instance, request.session);
+  if (inst == nullptr) {
+    return Response::failure(Status::NotFound, "unknown instance");
+  }
+  const IpComponentSpec& spec = components_.at(inst->component).spec;
+  rmi::Args args = request.args;
+
+  // Interactive estimator negotiation (applies to any instance kind).
+  if (request.method == MethodId::Negotiate) {
+    const auto kind = static_cast<ParamKind>(args.takeU64());
+    const double maxCost = args.takeDouble();
+    const double maxError = args.takeDouble();
+    const NegotiationResult res =
+        resolveNegotiation(spec, kind, maxCost, maxError);
+    Response resp;
+    switch (res.outcome) {
+      case NegotiationResult::Outcome::Accepted:
+        res.offer.serialize(resp.payload);
+        return resp;
+      case NegotiationResult::Outcome::CounterOffer:
+        resp.status = Status::PaymentRequired;
+        resp.error = "accuracy achievable only above the stated fee budget";
+        res.offer.serialize(resp.payload);
+        return resp;
+      case NegotiationResult::Outcome::Unavailable:
+        return Response::failure(Status::NotFound,
+                                 "no model meets the accuracy bound for " +
+                                     vcad::toString(kind));
+    }
+  }
+
+  // Sequential-extension methods and the shared fault list.
+  if (request.method == MethodId::SeqReset ||
+      request.method == MethodId::SeqStep) {
+    if (inst->seqImpl == nullptr) {
+      return Response::failure(Status::Error,
+                               inst->component + " is not sequential");
+    }
+    if (spec.testability < ModelLevel::Dynamic) {
+      return Response::failure(
+          Status::Error, "no testability model for " + inst->component);
+    }
+    const std::string symbol = args.takeString();
+    if (request.method == MethodId::SeqReset) {
+      inst->seqImpl->reset(symbol);
+      return Response{};
+    }
+    const Word inputs = args.takeWord();
+    Response resp;
+    resp.payload.writeWord(inst->seqImpl->step(symbol, inputs));
+    charge(request.session, MethodId::SeqStep, spec.fees.perEvalCents, resp);
+    return resp;
+  }
+  if (request.method == MethodId::GetFaultList && inst->seqImpl != nullptr) {
+    if (spec.testability < ModelLevel::Static) {
+      return Response::failure(
+          Status::Error, "no testability model for " + inst->component);
+    }
+    const auto faults = inst->seqImpl->faultList();
+    Response resp;
+    resp.payload.writeU32(static_cast<std::uint32_t>(faults.size()));
+    for (const std::string& f : faults) resp.payload.writeString(f);
+    return resp;
+  }
+  if (inst->impl == nullptr) {
+    return Response::failure(Status::Error,
+                             inst->component + " is a sequential component");
+  }
+
+  switch (request.method) {
+    case MethodId::EvalFunction: {
+      const Word inputs = args.takeWord();
+      Response resp;
+      resp.payload.writeWord(inst->impl->eval(inputs));
+      charge(request.session, MethodId::EvalFunction, spec.fees.perEvalCents, resp);
+      return resp;
+    }
+    case MethodId::EstimatePower: {
+      if (spec.power < ModelLevel::Dynamic) {
+        return Response::failure(
+            Status::Error, "no dynamic power model for " + inst->component);
+      }
+      const std::vector<Word> patterns = args.takeWordVector();
+      std::size_t billed = 0;
+      const double mw = inst->impl->powerMw(patterns, billed);
+      Response resp;
+      resp.payload.writeDouble(mw);
+      resp.payload.writeU64(billed);
+      charge(request.session, MethodId::EstimatePower,
+             spec.fees.perPowerPatternCents * static_cast<double>(billed),
+             resp);
+      return resp;
+    }
+    case MethodId::EstimateTiming: {
+      if (spec.timing < ModelLevel::Dynamic) {
+        return Response::failure(
+            Status::Error, "no dynamic timing model for " + inst->component);
+      }
+      Response resp;
+      resp.payload.writeDouble(inst->impl->timingNs());
+      charge(request.session, MethodId::EstimateTiming, spec.fees.perTimingQueryCents, resp);
+      return resp;
+    }
+    case MethodId::EstimateArea: {
+      if (spec.area < ModelLevel::Dynamic) {
+        return Response::failure(Status::Error,
+                                 "no dynamic area model for " + inst->component);
+      }
+      Response resp;
+      resp.payload.writeDouble(inst->impl->areaUm2());
+      charge(request.session, MethodId::EstimateArea, spec.fees.perAreaQueryCents, resp);
+      return resp;
+    }
+    case MethodId::GetFaultList: {
+      if (spec.testability < ModelLevel::Static) {
+        return Response::failure(
+            Status::Error, "no testability model for " + inst->component);
+      }
+      const auto faults = inst->impl->faultList();
+      Response resp;
+      resp.payload.writeU32(static_cast<std::uint32_t>(faults.size()));
+      for (const std::string& f : faults) resp.payload.writeString(f);
+      return resp;
+    }
+    case MethodId::GetDetectionTable: {
+      if (spec.testability < ModelLevel::Dynamic) {
+        return Response::failure(
+            Status::Error,
+            "no dynamic testability model for " + inst->component);
+      }
+      const Word inputs = args.takeWord();
+      Response resp;
+      inst->impl->detectionTable(inputs).serialize(resp.payload);
+      charge(request.session, MethodId::GetDetectionTable, spec.fees.perDetectionTableCents, resp);
+      return resp;
+    }
+    default:
+      return Response::failure(Status::Error, "unsupported method");
+  }
+}
+
+
+ProviderServer::Invoice ProviderServer::invoice(rmi::SessionId session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Invoice inv;
+  inv.session = session;
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return inv;
+  for (const auto& [method, item] : it->second.items) {
+    inv.items.push_back(Invoice::Item{method, item.calls, item.cents});
+  }
+  inv.totalCents = it->second.feesCents;
+  return inv;
+}
+
+std::string ProviderServer::Invoice::render() const {
+  std::string out = "invoice for session " + std::to_string(session) + "\n";
+  char line[128];
+  for (const Item& item : items) {
+    std::snprintf(line, sizeof(line), "  %-18s x%-6llu %10.2f cents\n",
+                  rmi::toString(item.method).c_str(),
+                  static_cast<unsigned long long>(item.calls), item.cents);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-18s         %10.2f cents\n", "TOTAL",
+                totalCents);
+  out += line;
+  return out;
+}
+
+}  // namespace vcad::ip

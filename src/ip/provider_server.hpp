@@ -1,0 +1,145 @@
+// ProviderServer: one IP provider's server — a component catalog, the
+// private parts of instantiated components, session management, and a fee
+// ledger. Implements the RMI ServerEndpoint so clients reach it only
+// through the (filtered, byte-accurate, latency-charged) channel.
+//
+// Parametric design macros: a component is registered with a netlist
+// *factory*, so the user can pass parameters (e.g. the word width) in the
+// component constructor and the provider builds the matching implementation
+// on its side — the Figure 2 "MultFastLowPower(width, ...)" behaviour.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/log.hpp"
+#include "ip/catalog.hpp"
+#include "ip/private_component.hpp"
+#include "ip/seq_private.hpp"
+#include "rmi/channel.hpp"
+#include "rmi/security.hpp"
+
+namespace vcad::ip {
+
+/// The public part of a component: the "loadable bytecode" the user
+/// downloads and runs locally. `functional` implements the component's
+/// abstract behaviour (empty when the provider releases no local functional
+/// model); it receives the sandbox so privileged operations are policed.
+struct PublicPart {
+  std::function<Word(const Word& inputs, const rmi::Sandbox& sandbox)>
+      functional;
+
+  bool hasFunctional() const { return static_cast<bool>(functional); }
+};
+
+/// Where clients obtain a component's public part (the "loadable bytecode").
+/// Implemented by ProviderServer; endpoint decorators (e.g. benchmarking
+/// stubs) forward it so the download path survives wrapping.
+class PublicPartSource {
+ public:
+  virtual ~PublicPartSource() = default;
+  virtual PublicPart downloadPublicPart(const std::string& component,
+                                        std::uint64_t param) const = 0;
+};
+
+class ProviderServer : public rmi::ServerEndpoint, public PublicPartSource {
+ public:
+  using NetlistFactory =
+      std::function<std::shared_ptr<const gate::Netlist>(std::uint64_t param)>;
+  using PublicPartFactory = std::function<PublicPart(std::uint64_t param)>;
+
+  explicit ProviderServer(std::string hostName, LogSink* log = nullptr,
+                          gate::TechParams tech = {});
+
+  /// Per-call compute multiplier applied to instances created afterwards;
+  /// see PrivateComponent::computeScale.
+  void setComputeScale(int scale) { computeScale_ = scale < 1 ? 1 : scale; }
+
+  /// Registers a component: its advertised spec, the private-implementation
+  /// factory, and the downloadable public part.
+  void registerComponent(IpComponentSpec spec, NetlistFactory netlistFactory,
+                         PublicPartFactory publicPartFactory);
+
+  /// Registers a *sequential* component (the sequential fault-simulation
+  /// extension): the factory builds the machine for the requested parameter.
+  using SeqFactory = std::function<gate::SeqNetlist(std::uint64_t param)>;
+  void registerSequentialComponent(IpComponentSpec spec, SeqFactory factory);
+
+  // --- RMI endpoint ------------------------------------------------------
+
+  rmi::Response dispatch(const rmi::Request& request) override;
+  std::string hostName() const override { return hostName_; }
+
+  // --- the "download" path (bytecode + stub shipping) ------------------
+
+  const IpComponentSpec* findSpec(const std::string& component) const;
+  PublicPart downloadPublicPart(const std::string& component,
+                                std::uint64_t param) const override;
+
+  // --- provider-side bookkeeping ----------------------------------------
+
+  double sessionFeesCents(rmi::SessionId session) const;
+  std::size_t liveInstanceCount() const;
+  const PrivateComponent* instanceForTesting(rmi::InstanceId id) const;
+
+  /// Itemized licensing summary for one session: per-method call counts and
+  /// accumulated fees (the invoice the provider settles at purchase time).
+  struct Invoice {
+    struct Item {
+      rmi::MethodId method;
+      std::uint64_t calls = 0;
+      double cents = 0.0;
+    };
+    rmi::SessionId session = 0;
+    std::vector<Item> items;
+    double totalCents = 0.0;
+
+    std::string render() const;
+  };
+  Invoice invoice(rmi::SessionId session) const;
+
+ private:
+  struct Registration {
+    IpComponentSpec spec;
+    NetlistFactory netlistFactory;      // combinational components
+    SeqFactory seqFactory;              // sequential components
+    PublicPartFactory publicPartFactory;
+  };
+  struct Instance {
+    std::string component;
+    rmi::SessionId session;
+    std::unique_ptr<PrivateComponent> impl;        // combinational
+    std::unique_ptr<SeqPrivateComponent> seqImpl;  // sequential
+  };
+  struct ChargeItem {
+    std::uint64_t calls = 0;
+    double cents = 0.0;
+  };
+  struct Session {
+    double feesCents = 0.0;
+    std::map<rmi::MethodId, ChargeItem> items;
+  };
+
+  rmi::Response handle(const rmi::Request& request);
+  rmi::Response instantiate(const rmi::Request& request);
+  Instance* findInstance(rmi::InstanceId id, rmi::SessionId session);
+  void charge(rmi::SessionId session, rmi::MethodId method, double cents,
+              rmi::Response& response);
+
+  std::string hostName_;
+  LogSink* log_;
+  gate::TechParams tech_;
+  int computeScale_ = 1;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Registration> components_;
+  std::map<rmi::SessionId, Session> sessions_;
+  std::map<rmi::InstanceId, Instance> instances_;
+  rmi::SessionId nextSession_ = 1;
+  rmi::InstanceId nextInstance_ = 1;
+};
+
+}  // namespace vcad::ip

@@ -1,0 +1,185 @@
+// Client side of an IP component: the provider handle (session), the
+// remote component module (public part + RMI stub), the remote fault client,
+// and the estimator candidates derived from a component's advertised spec.
+//
+// A RemoteComponent is instantiated exactly like a local module — its
+// constructor just additionally cites a provider handle (the paper's
+// Figure 2 pattern) and passes the width parameter to the provider, which
+// expands its parametric macro server-side.
+//
+// Two remote modes reproduce the paper's scenarios:
+//   EstimatorRemote (ER): the public part evaluates functionality locally;
+//       only estimation methods (and fault characterization) run remotely.
+//       Input patterns destined for power estimation are buffered locally
+//       and shipped in batches; batch calls may run non-blocking on a new
+//       thread so accurate-simulation latency hides behind client work.
+//   FullyRemote (MR): every functional event is marshalled to the provider
+//       (argument marshalling per event — the costly case of Table 2);
+//       patterns buffer remotely as a side effect of evaluation.
+#pragma once
+
+#include <future>
+#include <optional>
+
+#include "core/module.hpp"
+#include "estim/power_estimators.hpp"
+#include "fault/fault_client.hpp"
+#include "ip/provider_server.hpp"
+#include "rmi/channel.hpp"
+
+namespace vcad::ip {
+
+enum class RemoteMode { EstimatorRemote, FullyRemote };
+
+/// The user's live connection to one provider: channel + open session.
+/// (The "JavaCADServer provider = new JavaCADServer(host)" analog.)
+class ProviderHandle {
+ public:
+  explicit ProviderHandle(rmi::RmiChannel& channel);
+
+  rmi::RmiChannel& channel() { return *channel_; }
+  rmi::SessionId session() const { return session_; }
+
+  rmi::Response call(rmi::MethodId method, rmi::InstanceId instance,
+                     rmi::Args args, const std::string& component = "");
+  std::future<rmi::Response> callAsync(rmi::MethodId method,
+                                       rmi::InstanceId instance,
+                                       rmi::Args args);
+
+  /// Fetches and deserializes the provider's catalog.
+  std::vector<IpComponentSpec> catalog();
+
+ private:
+  rmi::RmiChannel* channel_;
+  rmi::SessionId session_ = 0;
+};
+
+struct RemoteConfig {
+  RemoteMode mode = RemoteMode::EstimatorRemote;
+  std::size_t patternBufferCapacity = 5;  // Table 2 uses a buffer of five
+  bool nonblockingEstimation = true;      // new-thread gate-level runs
+  bool collectPower = true;               // drive EstimatePower per batch
+};
+
+class RemoteComponent : public Module {
+ public:
+  using Config = RemoteConfig;
+
+  /// Instantiates the component on the provider (passing `param`, e.g. the
+  /// word width) and downloads the public part. Input/output connectors are
+  /// bound in order; the concatenation of input port bits must match the
+  /// provider netlist's primary inputs, and likewise for outputs.
+  RemoteComponent(std::string name, ProviderHandle& provider,
+                  const std::string& componentName, std::uint64_t param,
+                  std::vector<std::pair<std::string, Connector*>> inputs,
+                  std::vector<std::pair<std::string, Connector*>> outputs,
+                  Config config = {}, const rmi::Sandbox* sandbox = nullptr);
+
+  /// Input events arriving within one simulation instant are coalesced: the
+  /// component defers its (possibly remote) evaluation with a zero-delay
+  /// self token, so simultaneous operand updates trigger exactly one
+  /// evaluation — one pattern, one RMI call.
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+  void processSelfEvent(const SelfToken& token, SimContext& ctx) override;
+
+  /// Flushes the pending pattern buffer and harvests outstanding
+  /// non-blocking estimates; returns the weighted-average remote power
+  /// estimate collected so far (mW), or nullopt when none was gathered.
+  std::optional<double> finishPowerEstimation(const SimContext& ctx);
+
+  rmi::InstanceId instanceId() const { return instance_; }
+  RemoteMode mode() const { return config_.mode; }
+  const Config& config() const { return config_; }
+  ProviderHandle& provider() { return *provider_; }
+
+  /// Remote-call failures observed during simulation (the harness checks
+  /// this stays zero).
+  std::uint64_t remoteErrors() const { return remoteErrors_; }
+
+ private:
+  struct State : ModuleState {
+    bool evalPending = false;
+    std::unique_ptr<estim::PatternBuffer> buffer;
+    double powerWeightedSum = 0.0;
+    double powerWeight = 0.0;
+    std::vector<std::future<rmi::Response>> pending;
+  };
+
+  Word gatherInputs(const SimContext& ctx) const;
+  void emitOutputs(SimContext& ctx, const Word& outs);
+  void recordPattern(State& st, const Word& inputs);
+  void harvest(State& st, rmi::Response resp);
+
+  ProviderHandle* provider_;
+  Config config_;
+  rmi::InstanceId instance_ = 0;
+  PublicPart publicPart_;
+  rmi::Sandbox defaultSandbox_;
+  const rmi::Sandbox* sandbox_;
+  int inWidth_ = 0;
+  int outWidth_ = 0;
+  std::vector<Port*> inPorts_;
+  std::vector<Port*> outPorts_;
+  std::atomic<std::uint64_t> remoteErrors_{0};
+};
+
+/// FaultClient implementation backed by the provider: the user obtains the
+/// symbolic fault list and per-pattern detection tables over RMI, never the
+/// netlist.
+class RemoteFaultClient final : public fault::FaultClient {
+ public:
+  explicit RemoteFaultClient(RemoteComponent& component);
+
+  Module& module() override { return component_; }
+  std::vector<std::string> faultList() override;
+  fault::DetectionTable detectionTable(const Word& inputs) override;
+
+ private:
+  RemoteComponent& component_;
+};
+
+/// Sequential fault-simulation client backed by a provider: instantiates
+/// the sequential component remotely and drives the fault-free machine and
+/// per-fault shadow machines over RMI — the sequential extension of virtual
+/// fault simulation. Only cycle inputs and outputs cross the channel.
+class RemoteSeqFaultClient final : public fault::SeqFaultClient {
+ public:
+  RemoteSeqFaultClient(ProviderHandle& provider,
+                       const std::string& componentName, std::uint64_t param);
+
+  std::vector<std::string> faultList() override;
+  void resetGood() override;
+  Word stepGood(const Word& inputs) override;
+  void resetFaulty(const std::string& symbol) override;
+  Word stepFaulty(const std::string& symbol, const Word& inputs) override;
+
+  rmi::InstanceId instanceId() const { return instance_; }
+
+ private:
+  void reset(const std::string& symbol);
+  Word step(const std::string& symbol, const Word& inputs);
+
+  ProviderHandle* provider_;
+  rmi::InstanceId instance_ = 0;
+};
+
+/// Estimator that forwards to the provider's dynamic power model, shipping
+/// the context's pattern history as the batch.
+class RemotePowerEstimator final : public Estimator {
+ public:
+  RemotePowerEstimator(RemoteComponent& component, double costPerPatternCents);
+
+  std::unique_ptr<ParamValue> estimate(const EstimationContext& ctx) override;
+
+ private:
+  RemoteComponent& component_;
+};
+
+/// Builds the candidate estimator set a user can register on a module from
+/// the provider's advertised spec: constant and linear-regression power
+/// models when published (Static), and the remote gate-level estimator when
+/// the provider offers Dynamic power estimation.
+void attachSpecEstimators(Module& module, const IpComponentSpec& spec,
+                          RemoteComponent* remote);
+
+}  // namespace vcad::ip

@@ -1,0 +1,34 @@
+#include "ip/seq_private.hpp"
+
+namespace vcad::ip {
+
+SeqPrivateComponent::SeqPrivateComponent(gate::SeqNetlist seq)
+    : seq_(std::move(seq)), impl_(seq_) {}
+
+std::vector<std::string> SeqPrivateComponent::faultList() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return impl_.faultList();
+}
+
+void SeqPrivateComponent::reset(const std::string& symbol) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (symbol.empty()) {
+    impl_.resetGood();
+  } else {
+    impl_.resetFaulty(symbol);
+  }
+}
+
+Word SeqPrivateComponent::step(const std::string& symbol, const Word& inputs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++steps_;
+  if (symbol.empty()) return impl_.stepGood(inputs);
+  return impl_.stepFaulty(symbol, inputs);
+}
+
+std::size_t SeqPrivateComponent::stepCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return steps_;
+}
+
+}  // namespace vcad::ip

@@ -1,0 +1,35 @@
+// Server-side private part of a *sequential* IP component: the machine's
+// netlist plus the fault-free instance and per-fault shadow machines that
+// back the sequential virtual-fault-simulation protocol.
+#pragma once
+
+#include <mutex>
+
+#include "fault/seq_fault.hpp"
+#include "gate/seq_netlist.hpp"
+
+namespace vcad::ip {
+
+class SeqPrivateComponent {
+ public:
+  explicit SeqPrivateComponent(gate::SeqNetlist seq);
+
+  int inputBits() const { return seq_.inputBits(); }
+  int outputBits() const { return seq_.outputBits(); }
+
+  std::vector<std::string> faultList();
+
+  /// Empty symbol = the fault-free machine.
+  void reset(const std::string& symbol);
+  Word step(const std::string& symbol, const Word& inputs);
+
+  std::size_t stepCount() const;
+
+ private:
+  gate::SeqNetlist seq_;
+  fault::LocalSeqFaultBlock impl_;
+  mutable std::mutex mutex_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace vcad::ip

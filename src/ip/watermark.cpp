@@ -1,0 +1,199 @@
+#include "ip/watermark.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace vcad::ip {
+
+using gate::GateNode;
+using gate::GateType;
+using gate::NetId;
+using gate::Netlist;
+
+namespace {
+
+/// Key-derived embedding sites: distinct (gate, pin) pairs among the first
+/// `gateCount` gates. Deterministic in (key, gate arities), so embedder and
+/// extractor derive identical sites.
+std::vector<std::pair<int, int>> deriveTargets(const Netlist& nl,
+                                               int gateCount, int bits,
+                                               std::uint64_t seed) {
+  Rng rng(seed ^ 0x77a7e12a5ULL);
+  std::vector<std::pair<int, int>> targets;
+  std::map<std::pair<int, int>, bool> taken;
+  int attempts = 0;
+  while (static_cast<int>(targets.size()) < bits) {
+    if (++attempts > 64 * bits + 1024) {
+      throw std::invalid_argument(
+          "watermark: netlist too small for the requested signature");
+    }
+    const int gi = static_cast<int>(rng.below(static_cast<std::uint64_t>(gateCount)));
+    const GateNode& g = nl.gates()[static_cast<size_t>(gi)];
+    if (g.inputs.empty()) continue;  // const cells have no pins
+    const int p = static_cast<int>(rng.below(g.inputs.size()));
+    if (taken[{gi, p}]) continue;
+    taken[{gi, p}] = true;
+    targets.emplace_back(gi, p);
+  }
+  return targets;
+}
+
+}  // namespace
+
+Netlist embedWatermark(const Netlist& original, WatermarkKey key,
+                       const std::vector<bool>& signature) {
+  if (signature.empty()) {
+    throw std::invalid_argument("watermark: empty signature");
+  }
+  original.validate();
+  const int bits = static_cast<int>(signature.size());
+  const auto targets =
+      deriveTargets(original, original.gateCount(), bits, key.seed);
+
+  Netlist out;
+  std::vector<NetId> m(static_cast<size_t>(original.netCount()), gate::kNoNet);
+  for (NetId pi : original.primaryInputs()) {
+    m[static_cast<size_t>(pi)] = out.addInput(original.netName(pi));
+  }
+  // Watermark nets first, so gate indices of the clone match the original.
+  std::vector<NetId> wmA, wmB;
+  for (int i = 0; i < bits; ++i) {
+    wmA.push_back(out.addNet("wmA" + std::to_string(i)));
+    wmB.push_back(out.addNet("wmB" + std::to_string(i)));
+  }
+  // Pre-create every original non-input net, then clone gates in order.
+  for (NetId n = 0; n < original.netCount(); ++n) {
+    if (m[static_cast<size_t>(n)] == gate::kNoNet) {
+      m[static_cast<size_t>(n)] = out.addNet(original.netName(n));
+    }
+  }
+  std::map<std::pair<int, int>, int> bitAt;
+  for (int i = 0; i < bits; ++i) bitAt[targets[static_cast<size_t>(i)]] = i;
+
+  for (int gi = 0; gi < original.gateCount(); ++gi) {
+    const GateNode& g = original.gates()[static_cast<size_t>(gi)];
+    std::vector<NetId> ins;
+    for (size_t p = 0; p < g.inputs.size(); ++p) {
+      auto it = bitAt.find({gi, static_cast<int>(p)});
+      if (it != bitAt.end()) {
+        ins.push_back(wmB[static_cast<size_t>(it->second)]);
+      } else {
+        ins.push_back(m[static_cast<size_t>(g.inputs[p])]);
+      }
+    }
+    out.addGateDriving(g.type, std::move(ins), m[static_cast<size_t>(g.output)]);
+  }
+  // The redundant pairs: wmA = BUF(n), wmB = bit ? OR(n, wmA) : AND(n, wmA).
+  for (int i = 0; i < bits; ++i) {
+    const auto [gi, p] = targets[static_cast<size_t>(i)];
+    const NetId source =
+        m[static_cast<size_t>(original.gates()[static_cast<size_t>(gi)]
+                                  .inputs[static_cast<size_t>(p)])];
+    out.addGateDriving(GateType::Buf, {source}, wmA[static_cast<size_t>(i)]);
+    out.addGateDriving(signature[static_cast<size_t>(i)] ? GateType::Or
+                                                         : GateType::And,
+                       {source, wmA[static_cast<size_t>(i)]},
+                       wmB[static_cast<size_t>(i)]);
+  }
+  for (NetId po : original.primaryOutputs()) {
+    out.markOutput(m[static_cast<size_t>(po)]);
+  }
+  out.validate();
+  return out;
+}
+
+std::optional<std::vector<bool>> extractWatermark(const Netlist& marked,
+                                                  WatermarkKey key,
+                                                  int originalGateCount,
+                                                  int signatureBits) {
+  if (originalGateCount < 0 ||
+      marked.gateCount() < originalGateCount + 2 * signatureBits) {
+    return std::nullopt;
+  }
+  std::vector<std::pair<int, int>> targets;
+  try {
+    targets = deriveTargets(marked, originalGateCount, signatureBits, key.seed);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  std::vector<bool> signature;
+  for (int i = 0; i < signatureBits; ++i) {
+    const GateNode& bufGate =
+        marked.gates()[static_cast<size_t>(originalGateCount + 2 * i)];
+    const GateNode& pairGate =
+        marked.gates()[static_cast<size_t>(originalGateCount + 2 * i + 1)];
+    if (bufGate.type != GateType::Buf || bufGate.inputs.size() != 1) {
+      return std::nullopt;
+    }
+    bool bit;
+    if (pairGate.type == GateType::Or) {
+      bit = true;
+    } else if (pairGate.type == GateType::And) {
+      bit = false;
+    } else {
+      return std::nullopt;
+    }
+    // The pair must read {source, wmA} with wmA the buffer's output...
+    if (pairGate.inputs.size() != 2) return std::nullopt;
+    const NetId source = bufGate.inputs[0];
+    const bool wellFormed =
+        (pairGate.inputs[0] == source && pairGate.inputs[1] == bufGate.output) ||
+        (pairGate.inputs[1] == source && pairGate.inputs[0] == bufGate.output);
+    if (!wellFormed) return std::nullopt;
+    // ...and the key-derived site must actually consume the pair's output.
+    const auto [gi, p] = targets[static_cast<size_t>(i)];
+    const GateNode& site = marked.gates()[static_cast<size_t>(gi)];
+    if (static_cast<size_t>(p) >= site.inputs.size() ||
+        site.inputs[static_cast<size_t>(p)] != pairGate.output) {
+      return std::nullopt;
+    }
+    signature.push_back(bit);
+  }
+  return signature;
+}
+
+Netlist stripWatermark(const Netlist& marked, int originalGateCount,
+                       int signatureBits) {
+  if (marked.gateCount() < originalGateCount + 2 * signatureBits) {
+    throw std::invalid_argument("stripWatermark: shape mismatch");
+  }
+  // Source net behind each wmB output.
+  std::map<NetId, NetId> substitute;
+  for (int i = 0; i < signatureBits; ++i) {
+    const GateNode& bufGate =
+        marked.gates()[static_cast<size_t>(originalGateCount + 2 * i)];
+    const GateNode& pairGate =
+        marked.gates()[static_cast<size_t>(originalGateCount + 2 * i + 1)];
+    substitute[pairGate.output] = bufGate.inputs[0];
+  }
+  Netlist out;
+  std::vector<NetId> m(static_cast<size_t>(marked.netCount()), gate::kNoNet);
+  for (NetId pi : marked.primaryInputs()) {
+    m[static_cast<size_t>(pi)] = out.addInput(marked.netName(pi));
+  }
+  for (int gi = 0; gi < originalGateCount; ++gi) {
+    const GateNode& g = marked.gates()[static_cast<size_t>(gi)];
+    if (m[static_cast<size_t>(g.output)] == gate::kNoNet) {
+      m[static_cast<size_t>(g.output)] = out.addNet(marked.netName(g.output));
+    }
+  }
+  for (int gi = 0; gi < originalGateCount; ++gi) {
+    const GateNode& g = marked.gates()[static_cast<size_t>(gi)];
+    std::vector<NetId> ins;
+    for (NetId in : g.inputs) {
+      auto it = substitute.find(in);
+      const NetId real = it != substitute.end() ? it->second : in;
+      ins.push_back(m[static_cast<size_t>(real)]);
+    }
+    out.addGateDriving(g.type, std::move(ins), m[static_cast<size_t>(g.output)]);
+  }
+  for (NetId po : marked.primaryOutputs()) {
+    out.markOutput(m[static_cast<size_t>(po)]);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace vcad::ip

@@ -1,0 +1,49 @@
+// Netlist watermarking — the related-work baseline the paper contrasts
+// against (Kahng et al., DAC'98). A provider embeds a digital signature
+// into the component so that unauthorized instantiation can be proven in
+// court. Crucially, watermarking does NOT hide the IP: the user receives
+// the full netlist and can reverse-engineer it — which is exactly the gap
+// virtual simulation closes.
+//
+// Scheme (constraint-style, function-preserving): for each signature bit, a
+// key-derived (gate, pin) site is rewired through a redundant pair
+//   wmA = BUF(n)
+//   wmB = bit ? OR(n, wmA) : AND(n, wmA)     // == n either way
+// and the site reads wmB instead of n. The signature is recovered from the
+// gate types of the appended pairs; an adversary can strip the redundant
+// pairs (destroying the proof of ownership) but gains nothing secret —
+// the functional IP was in their hands all along.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace vcad::ip {
+
+struct WatermarkKey {
+  std::uint64_t seed = 0;
+};
+
+/// Embeds `signature` into a copy of `original`. Function is preserved
+/// exactly (all outputs identical for every input). Throws when the netlist
+/// is too small to host the requested number of bits.
+gate::Netlist embedWatermark(const gate::Netlist& original, WatermarkKey key,
+                             const std::vector<bool>& signature);
+
+/// Recovers the signature from a watermarked netlist. Requires the key and
+/// the original gate count; returns nullopt when the structural pattern is
+/// absent (wrong key, stripped watermark, or unmarked netlist).
+std::optional<std::vector<bool>> extractWatermark(const gate::Netlist& marked,
+                                                  WatermarkKey key,
+                                                  int originalGateCount,
+                                                  int signatureBits);
+
+/// Removes the watermark pairs, restoring a netlist functionally and
+/// structurally equivalent to the original — the attack watermarking cannot
+/// prevent (it only proves provenance while the marks are intact).
+gate::Netlist stripWatermark(const gate::Netlist& marked,
+                             int originalGateCount, int signatureBits);
+
+}  // namespace vcad::ip

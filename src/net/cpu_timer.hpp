@@ -1,0 +1,28 @@
+// Thread CPU-time measurement used to report the "CPU time" columns of the
+// paper's Table 2 and Figure 3.
+#pragma once
+
+#include <ctime>
+
+namespace vcad::net {
+
+/// Current CPU time of the calling thread, in seconds.
+inline double threadCpuSec() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Scoped CPU-time interval: construct, do work, call elapsed().
+class CpuTimer {
+ public:
+  CpuTimer() : start_(threadCpuSec()) {}
+  double elapsedSec() const { return threadCpuSec() - start_; }
+  void restart() { start_ = threadCpuSec(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace vcad::net

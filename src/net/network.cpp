@@ -1,0 +1,76 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace vcad::net {
+
+NetworkProfile NetworkProfile::localhost() {
+  NetworkProfile p;
+  p.name = "localhost";
+  p.oneWayLatencySec = 120e-6;  // loopback RMI round trip ~0.25 ms
+  p.bandwidthBps = 200e6;
+  p.jitterFraction = 0.1;
+  p.sharedHost = true;
+  p.contentionFactor = 1.8;  // the "more heavily loaded" single machine
+  return p;
+}
+
+NetworkProfile NetworkProfile::lan() {
+  NetworkProfile p;
+  p.name = "lan";
+  p.oneWayLatencySec = 1.2e-3;  // campus network with working-hours load
+  p.bandwidthBps = 8e6;
+  p.jitterFraction = 0.3;
+  return p;
+}
+
+NetworkProfile NetworkProfile::wan() {
+  NetworkProfile p;
+  p.name = "wan";
+  p.oneWayLatencySec = 55e-3;  // long-distance Internet path
+  p.bandwidthBps = 250e3;
+  p.jitterFraction = 0.5;
+  return p;
+}
+
+NetworkProfile NetworkProfile::ideal() {
+  NetworkProfile p;
+  p.name = "ideal";
+  return p;
+}
+
+NetworkModel::NetworkModel(NetworkProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+double NetworkModel::messageDelaySec(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double base = profile_.oneWayLatencySec +
+                      static_cast<double>(bytes) / profile_.bandwidthBps;
+  if (profile_.jitterFraction <= 0.0) return base;
+  const double jitter =
+      profile_.oneWayLatencySec *
+      rng_.uniform(-profile_.jitterFraction, profile_.jitterFraction);
+  return std::max(0.0, base + jitter);
+}
+
+double NetworkModel::serverComputeWallSec(double cpuSec) const {
+  if (profile_.sharedHost) return cpuSec * (1.0 + profile_.contentionFactor);
+  return cpuSec;
+}
+
+void VirtualClock::advance(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  elapsed_ += seconds;
+}
+
+double VirtualClock::elapsedSec() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return elapsed_;
+}
+
+void VirtualClock::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  elapsed_ = 0.0;
+}
+
+}  // namespace vcad::net

@@ -1,0 +1,152 @@
+#include "net/serialize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcad::net {
+
+void ByteBuffer::need(std::size_t n) const {
+  if (readPos_ + n > data_.size()) {
+    throw std::out_of_range("ByteBuffer underflow: need " + std::to_string(n) +
+                            " bytes, have " +
+                            std::to_string(data_.size() - readPos_));
+  }
+}
+
+void ByteBuffer::writeU8(std::uint8_t v) { data_.push_back(v); }
+
+void ByteBuffer::writeU16(std::uint16_t v) {
+  writeU8(static_cast<std::uint8_t>(v >> 8));
+  writeU8(static_cast<std::uint8_t>(v));
+}
+
+void ByteBuffer::writeU32(std::uint32_t v) {
+  writeU16(static_cast<std::uint16_t>(v >> 16));
+  writeU16(static_cast<std::uint16_t>(v));
+}
+
+void ByteBuffer::writeU64(std::uint64_t v) {
+  writeU32(static_cast<std::uint32_t>(v >> 32));
+  writeU32(static_cast<std::uint32_t>(v));
+}
+
+void ByteBuffer::writeBool(bool v) { writeU8(v ? 1 : 0); }
+
+void ByteBuffer::writeDouble(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  writeU64(bits);
+}
+
+void ByteBuffer::writeString(const std::string& s) {
+  writeU32(static_cast<std::uint32_t>(s.size()));
+  data_.insert(data_.end(), s.begin(), s.end());
+}
+
+void ByteBuffer::writeBytes(const std::vector<std::uint8_t>& bytes) {
+  writeU32(static_cast<std::uint32_t>(bytes.size()));
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteBuffer::writeWord(const Word& w) {
+  writeU8(static_cast<std::uint8_t>(w.width()));
+  std::uint8_t acc = 0;
+  int nibble = 0;
+  for (int i = 0; i < w.width(); ++i) {
+    acc = static_cast<std::uint8_t>(acc |
+                                    (static_cast<std::uint8_t>(w.bit(i))
+                                     << (2 * nibble)));
+    if (++nibble == 4) {
+      writeU8(acc);
+      acc = 0;
+      nibble = 0;
+    }
+  }
+  if (nibble != 0) writeU8(acc);
+}
+
+void ByteBuffer::writeWordVector(const std::vector<Word>& words) {
+  writeU32(static_cast<std::uint32_t>(words.size()));
+  for (const Word& w : words) writeWord(w);
+}
+
+std::uint8_t ByteBuffer::readU8() {
+  need(1);
+  return data_[readPos_++];
+}
+
+std::uint16_t ByteBuffer::readU16() {
+  const auto hi = readU8();
+  const auto lo = readU8();
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+std::uint32_t ByteBuffer::readU32() {
+  const std::uint32_t hi = readU16();
+  const std::uint32_t lo = readU16();
+  return (hi << 16) | lo;
+}
+
+std::uint64_t ByteBuffer::readU64() {
+  const std::uint64_t hi = readU32();
+  const std::uint64_t lo = readU32();
+  return (hi << 32) | lo;
+}
+
+bool ByteBuffer::readBool() { return readU8() != 0; }
+
+double ByteBuffer::readDouble() {
+  const std::uint64_t bits = readU64();
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteBuffer::readString() {
+  const std::uint32_t n = readU32();
+  need(n);
+  std::string s(data_.begin() + static_cast<std::ptrdiff_t>(readPos_),
+                data_.begin() + static_cast<std::ptrdiff_t>(readPos_ + n));
+  readPos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> ByteBuffer::readBytes() {
+  const std::uint32_t n = readU32();
+  need(n);
+  std::vector<std::uint8_t> out(
+      data_.begin() + static_cast<std::ptrdiff_t>(readPos_),
+      data_.begin() + static_cast<std::ptrdiff_t>(readPos_ + n));
+  readPos_ += n;
+  return out;
+}
+
+Word ByteBuffer::readWord() {
+  const int width = readU8();
+  Word w(width);
+  std::uint8_t acc = 0;
+  int nibble = 4;  // force a fresh byte read
+  for (int i = 0; i < width; ++i) {
+    if (nibble == 4) {
+      acc = readU8();
+      nibble = 0;
+    }
+    w.setBit(i, static_cast<Logic>((acc >> (2 * nibble)) & 0x3));
+    ++nibble;
+  }
+  return w;
+}
+
+std::vector<Word> ByteBuffer::readWordVector() {
+  const std::uint32_t n = readU32();
+  std::vector<Word> out;
+  // Every serialized word occupies at least one byte, so a corrupted length
+  // larger than the remaining payload cannot be honoured; cap the reserve
+  // and let the per-word bounds checks reject the stream.
+  out.reserve(std::min<std::size_t>(n, remaining()));
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(readWord());
+  return out;
+}
+
+}  // namespace vcad::net

@@ -1,0 +1,72 @@
+// Binary serialization for the RMI layer (the object-serialization role
+// Java RMI plays in the paper).
+//
+// ByteBuffer is a growable byte stream with typed big-endian writers and
+// checked readers. Everything that crosses the client/server boundary is
+// marshalled through it, so message sizes are real and the network model can
+// charge bandwidth for actual bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/word.hpp"
+
+namespace vcad::net {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data)
+      : data_(std::move(data)) {}
+
+  // --- writers ---------------------------------------------------------
+
+  void writeU8(std::uint8_t v);
+  void writeU16(std::uint16_t v);
+  void writeU32(std::uint32_t v);
+  void writeU64(std::uint64_t v);
+  void writeBool(bool v);
+  void writeDouble(double v);
+  void writeString(const std::string& s);
+  void writeBytes(const std::vector<std::uint8_t>& bytes);
+
+  /// Compact word encoding: width byte + 2 bits per position.
+  void writeWord(const Word& w);
+  void writeWordVector(const std::vector<Word>& words);
+
+  // --- readers (throw std::out_of_range on underflow) -----------------------
+
+  std::uint8_t readU8();
+  std::uint16_t readU16();
+  std::uint32_t readU32();
+  std::uint64_t readU64();
+  bool readBool();
+  double readDouble();
+  std::string readString();
+  std::vector<std::uint8_t> readBytes();
+  Word readWord();
+  std::vector<Word> readWordVector();
+
+  // --- inspection ------------------------------------------------------
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t remaining() const { return data_.size() - readPos_; }
+  bool exhausted() const { return readPos_ >= data_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return data_; }
+
+  void rewind() { readPos_ = 0; }
+  void clear() {
+    data_.clear();
+    readPos_ = 0;
+  }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> data_;
+  std::size_t readPos_ = 0;
+};
+
+}  // namespace vcad::net

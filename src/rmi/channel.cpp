@@ -1,0 +1,90 @@
+#include "rmi/channel.hpp"
+
+#include <chrono>
+
+namespace vcad::rmi {
+
+RmiChannel::RmiChannel(ServerEndpoint& server, net::NetworkProfile profile,
+                       LogSink* audit, std::uint64_t seed)
+    : server_(server),
+      model_(std::move(profile), seed),
+      filter_(audit),
+      audit_(audit) {}
+
+Response RmiChannel::call(const Request& request) {
+  return transact(request, /*blocking=*/true);
+}
+
+std::future<Response> RmiChannel::callAsync(Request request) {
+  return std::async(std::launch::async, [this, req = std::move(request)] {
+    return transact(req, /*blocking=*/false);
+  });
+}
+
+Response RmiChannel::transact(const Request& request, bool blocking) {
+  // 1. Security: inspect exactly what would go on the wire.
+  if (!filter_.admit(request)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.securityRejections;
+    return Response::failure(
+        Status::SecurityViolation,
+        "marshalling filter rejected non-port design information");
+  }
+
+  // 2. Marshal and ship the request.
+  net::ByteBuffer wire = request.marshal();
+  const std::size_t sentBytes = wire.size();
+  double wallSec = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wallSec += model_.messageDelaySec(sentBytes);
+  }
+
+  // 3. Server executes; measure its compute time with a high-resolution
+  // monotonic clock (the dispatch never blocks, so wall time == compute
+  // time, and this avoids the coarse granularity of kernel CPU accounting).
+  Request onServer = Request::unmarshal(wire);
+  const auto serverStart = std::chrono::steady_clock::now();
+  Response response = server_.dispatch(onServer);
+  const double serverCpu =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serverStart)
+          .count();
+  wallSec += model_.serverComputeWallSec(serverCpu);
+
+  // 4. Marshal and ship the response.
+  net::ByteBuffer back = response.marshal();
+  const std::size_t recvBytes = back.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wallSec += model_.messageDelaySec(recvBytes);
+  }
+  Response onClient = Response::unmarshal(back);
+
+  // 5. Account.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
+    if (blocking) {
+      ++stats_.blockedCalls;
+      stats_.blockingWallSec += wallSec;
+    } else {
+      ++stats_.asyncCalls;
+      stats_.nonblockingWallSec += wallSec;
+      if (wallSec > stats_.maxNonblockingCallSec) {
+        stats_.maxNonblockingCallSec = wallSec;
+      }
+    }
+    stats_.bytesSent += sentBytes;
+    stats_.bytesReceived += recvBytes;
+    stats_.serverCpuSec += serverCpu;
+    stats_.feesCents += onClient.feeCents;
+  }
+  if (audit_ != nullptr && !onClient.ok()) {
+    audit_->warning("RMI " + toString(request.method) + " failed: " +
+                    toString(onClient.status) + " (" + onClient.error + ")");
+  }
+  return onClient;
+}
+
+}  // namespace vcad::rmi

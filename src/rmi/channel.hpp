@@ -1,0 +1,82 @@
+// RmiChannel: the client's view of one provider server.
+//
+// The channel is in-process but byte-accurate: requests and responses are
+// fully marshalled, the marshalling security filter inspects outgoing
+// payloads, and a NetworkModel charges simulated wall-clock time (latency +
+// bandwidth + jitter, plus shared-host contention) to a VirtualClock.
+// Measured quantities (server CPU seconds) come from real thread timers.
+//
+// Blocking calls advance the client's wall clock; non-blocking calls (the
+// paper's new-thread gate-level simulations) accumulate on a separate
+// overlap account, so the harness can reconstruct how much latency was
+// hidden behind client compute.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "core/log.hpp"
+#include "net/network.hpp"
+#include "rmi/protocol.hpp"
+#include "rmi/security.hpp"
+
+namespace vcad::rmi {
+
+/// Server side of the wire: anything able to answer unmarshalled requests.
+class ServerEndpoint {
+ public:
+  virtual ~ServerEndpoint() = default;
+  virtual Response dispatch(const Request& request) = 0;
+  virtual std::string hostName() const = 0;
+};
+
+struct ChannelStats {
+  std::uint64_t calls = 0;
+  std::uint64_t blockedCalls = 0;
+  std::uint64_t asyncCalls = 0;
+  std::uint64_t securityRejections = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t bytesReceived = 0;
+  double blockingWallSec = 0.0;     // wire + server time the client waited on
+  double nonblockingWallSec = 0.0;  // wire + server time overlapped with work
+  double maxNonblockingCallSec = 0.0;  // longest single overlapped call (the
+                                       // fully-parallel latency lower bound)
+  double serverCpuSec = 0.0;        // measured provider compute
+  double feesCents = 0.0;           // accumulated provider fees
+};
+
+class RmiChannel {
+ public:
+  RmiChannel(ServerEndpoint& server, net::NetworkProfile profile,
+             LogSink* audit = nullptr, std::uint64_t seed = 0x5eed);
+
+  /// Synchronous call: the client stalls for the full round trip.
+  Response call(const Request& request);
+
+  /// Non-blocking call (new-thread simulation runs): the round-trip cost
+  /// lands on the overlap account instead of the blocking clock.
+  std::future<Response> callAsync(Request request);
+
+  const ChannelStats& stats() const { return stats_; }
+  void resetStats() { stats_ = ChannelStats{}; }
+
+  /// Total simulated wall-clock seconds the client was stalled by this
+  /// channel (the blocking account).
+  double blockedWallSec() const { return stats_.blockingWallSec; }
+
+  const net::NetworkProfile& profile() const { return model_.profile(); }
+  ServerEndpoint& server() { return server_; }
+
+ private:
+  Response transact(const Request& request, bool blocking);
+
+  ServerEndpoint& server_;
+  net::NetworkModel model_;
+  MarshalFilter filter_;
+  LogSink* audit_;
+  std::mutex mutex_;  // serializes stats/model updates across async calls
+  ChannelStats stats_;
+};
+
+}  // namespace vcad::rmi

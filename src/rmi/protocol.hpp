@@ -1,0 +1,121 @@
+// RMI protocol messages between the IP user (client) and IP providers
+// (servers).
+//
+// Every request/response is fully marshalled to bytes before it "travels",
+// so the network model charges bandwidth for real message sizes, and the
+// security filter can inspect exactly what would leave the user's machine.
+//
+// Argument payloads are *tagged*: each field carries a category byte. The
+// category set deliberately includes only port-level information (signal
+// values, pattern buffers, scalar parameters) plus session/component
+// bookkeeping — the mechanism behind the paper's claim that "JavaCAD
+// transmits only [port] information over the RMI channel". A DesignGraph
+// category exists so tests and examples can demonstrate the filter rejecting
+// an attempt to leak design structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/serialize.hpp"
+
+namespace vcad::rmi {
+
+using SessionId = std::uint64_t;
+using InstanceId = std::uint64_t;
+
+enum class MethodId : std::uint32_t {
+  OpenSession = 1,
+  CloseSession,
+  GetCatalog,       // -> component spec summaries
+  Instantiate,      // component name + parameters -> instance id
+  EvalFunction,     // instance inputs -> outputs (fully remote module mode)
+  EstimatePower,    // pattern buffer -> average mW (gate-level toggle count)
+  EstimateTiming,   // -> critical path ns (needs gate-level structure)
+  EstimateArea,     // -> um^2
+  GetFaultList,     // -> symbolic fault list
+  GetDetectionTable,  // input pattern -> detection table
+  SeqReset,         // sequential extension: reset good/faulty shadow machine
+  SeqStep,          // sequential extension: clock a machine one cycle
+  Negotiate,        // interactive estimator negotiation (constraints -> offer)
+};
+
+std::string toString(MethodId m);
+
+/// Argument field categories. The marshalling filter admits only the
+/// port-level / bookkeeping ones.
+enum class ArgTag : std::uint8_t {
+  U64 = 1,
+  Double = 2,
+  Word = 3,         // a signal value at the component's own ports
+  WordVector = 4,   // a pattern buffer for the component's own inputs
+  String = 5,       // component/parameter names
+  DesignGraph = 13,  // FORBIDDEN: information about the rest of the design
+};
+
+/// Tagged argument writer/reader. All request arguments must go through
+/// this, which is what makes the marshalling filter meaningful.
+class Args {
+ public:
+  Args() = default;
+  explicit Args(net::ByteBuffer buf) : buf_(std::move(buf)) {}
+
+  Args& addU64(std::uint64_t v);
+  Args& addDouble(double v);
+  Args& addWord(const Word& w);
+  Args& addWordVector(const std::vector<Word>& ws);
+  Args& addString(const std::string& s);
+  /// Deliberately present so misbehaving client code can *try* to ship
+  /// design-structure information; the filter rejects it before transmission.
+  Args& addDesignGraph(const std::string& serializedStructure);
+
+  std::uint64_t takeU64();
+  double takeDouble();
+  Word takeWord();
+  std::vector<Word> takeWordVector();
+  std::string takeString();
+
+  const net::ByteBuffer& buffer() const { return buf_; }
+  net::ByteBuffer& buffer() { return buf_; }
+
+ private:
+  void expectTag(ArgTag t);
+  net::ByteBuffer buf_;
+};
+
+struct Request {
+  SessionId session = 0;
+  InstanceId instance = 0;
+  MethodId method = MethodId::OpenSession;
+  std::string component;  // for Instantiate / GetCatalog
+  Args args;
+
+  net::ByteBuffer marshal() const;
+  static Request unmarshal(net::ByteBuffer& buf);
+};
+
+enum class Status : std::uint8_t {
+  Ok = 0,
+  Error,
+  SecurityViolation,
+  NotFound,
+  PaymentRequired,
+};
+
+std::string toString(Status s);
+
+struct Response {
+  Status status = Status::Ok;
+  std::string error;
+  net::ByteBuffer payload;
+  double feeCents = 0.0;  // charged by this call (provider accounting)
+
+  bool ok() const { return status == Status::Ok; }
+
+  net::ByteBuffer marshal() const;
+  static Response unmarshal(net::ByteBuffer& buf);
+
+  static Response failure(Status s, std::string message);
+};
+
+}  // namespace vcad::rmi

@@ -1,0 +1,92 @@
+#include "rmi/security.hpp"
+
+namespace vcad::rmi {
+
+namespace {
+bool admissibleTag(ArgTag t) {
+  switch (t) {
+    case ArgTag::U64:
+    case ArgTag::Double:
+    case ArgTag::Word:
+    case ArgTag::WordVector:
+    case ArgTag::String:
+      return true;
+    case ArgTag::DesignGraph:
+      return false;
+  }
+  return false;
+}
+
+/// Walks the tagged payload without interpreting values, returning the first
+/// inadmissible tag (or 0 when the payload is clean).
+std::uint8_t scan(net::ByteBuffer buf) {
+  buf.rewind();
+  while (!buf.exhausted()) {
+    const std::uint8_t raw = buf.readU8();
+    const auto tag = static_cast<ArgTag>(raw);
+    if (!admissibleTag(tag)) return raw;
+    switch (tag) {
+      case ArgTag::U64:
+        buf.readU64();
+        break;
+      case ArgTag::Double:
+        buf.readDouble();
+        break;
+      case ArgTag::Word:
+        buf.readWord();
+        break;
+      case ArgTag::WordVector:
+        buf.readWordVector();
+        break;
+      case ArgTag::String:
+        buf.readString();
+        break;
+      case ArgTag::DesignGraph:
+        return raw;  // unreachable; admissibleTag already rejected it
+    }
+  }
+  return 0;
+}
+}  // namespace
+
+bool MarshalFilter::admit(const Request& request) {
+  const std::uint8_t bad = scan(request.args.buffer());
+  if (bad == 0) return true;
+  if (audit_ != nullptr) {
+    audit_->security("marshalling filter blocked " + toString(request.method) +
+                     " to component '" + request.component +
+                     "': argument tag " + std::to_string(bad) +
+                     " would leak non-port design information");
+  }
+  return false;
+}
+
+void Sandbox::deny(const std::string& what) const {
+  if (audit_ != nullptr) audit_->security(what);
+  throw SecurityViolationError(what);
+}
+
+void Sandbox::requireFileSystem(const std::string& who) const {
+  if (!caps_.fileSystem) {
+    deny("sandbox: '" + who + "' attempted file-system access");
+  }
+}
+
+void Sandbox::requireNetwork(const std::string& who, const std::string& host,
+                             const std::string& originHost) const {
+  // Downloaded code may always talk back to the provider server it came
+  // from (that is how stubs work); anything else needs the capability.
+  if (host == originHost) return;
+  if (!caps_.arbitraryNetwork) {
+    deny("sandbox: '" + who + "' attempted connection to '" + host +
+         "' (origin is '" + originHost + "')");
+  }
+}
+
+void Sandbox::requireDesignIntrospection(const std::string& who) const {
+  if (!caps_.designIntrospection) {
+    deny("sandbox: '" + who + "' attempted to inspect the user design");
+  }
+}
+
+}  // namespace vcad::rmi

@@ -1,0 +1,76 @@
+// Security mechanisms of the RMI layer.
+//
+// Two distinct protections, mirroring the paper:
+//
+// 1. User-IP protection: the *marshalling filter*. Before a request leaves
+//    the client, its argument payload is scanned; only port-level
+//    information (signal values, pattern buffers, scalars, names) may cross
+//    the channel. Anything tagged as design-structure information is
+//    rejected with a SecurityViolation and an audit entry — a remote IP
+//    component can only ever learn what is observable at its own ports.
+//
+// 2. Provider-code containment: the *sandbox*. Downloaded public-part code
+//    runs with a capability set that denies file-system access, arbitrary
+//    network connections, and design introspection (the Java-2 security
+//    manager role). Public-part implementations must consult the sandbox
+//    before privileged operations; violations throw and are audited.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/log.hpp"
+#include "rmi/protocol.hpp"
+
+namespace vcad::rmi {
+
+class SecurityViolationError : public std::runtime_error {
+ public:
+  explicit SecurityViolationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Scans a request's tagged argument payload and decides whether it may be
+/// transmitted. Pure function of the bytes: the filter sees exactly what the
+/// wire would carry.
+class MarshalFilter {
+ public:
+  explicit MarshalFilter(LogSink* audit = nullptr) : audit_(audit) {}
+
+  /// Returns true when every argument field carries an admissible tag.
+  /// On rejection, logs a Security entry naming the offending tag.
+  bool admit(const Request& request);
+
+ private:
+  LogSink* audit_;
+};
+
+/// Capabilities granted to downloaded provider code executing on the user's
+/// machine. Default: nothing beyond computing on its own inputs.
+struct Capabilities {
+  bool fileSystem = false;
+  bool arbitraryNetwork = false;   // only the originating provider is allowed
+  bool designIntrospection = false;
+};
+
+/// Runtime guard consulted by public-part code before privileged actions.
+class Sandbox {
+ public:
+  explicit Sandbox(Capabilities caps = {}, LogSink* audit = nullptr)
+      : caps_(caps), audit_(audit) {}
+
+  const Capabilities& capabilities() const { return caps_; }
+
+  void requireFileSystem(const std::string& who) const;
+  void requireNetwork(const std::string& who, const std::string& host,
+                      const std::string& originHost) const;
+  void requireDesignIntrospection(const std::string& who) const;
+
+ private:
+  void deny(const std::string& what) const;
+
+  Capabilities caps_;
+  LogSink* audit_;
+};
+
+}  // namespace vcad::rmi

@@ -1,0 +1,111 @@
+#include "rtl/behavioral.hpp"
+
+#include <stdexcept>
+
+#include "core/connector.hpp"
+
+namespace vcad::rtl {
+
+// --- Activation ------------------------------------------------------------
+
+BehavioralProcess::Activation::Activation(BehavioralProcess& self,
+                                          SimContext& ctx, bool periodic)
+    : self_(self), ctx_(ctx), periodic_(periodic) {
+  inputs_.reserve(self.inPorts_.size());
+  for (Port* p : self.inPorts_) {
+    inputs_.push_back(self.readInput(ctx, *p));
+  }
+}
+
+void BehavioralProcess::Activation::drive(std::size_t index, const Word& value,
+                                          SimTime delay) {
+  if (index >= self_.outPorts_.size()) {
+    throw std::out_of_range("BehavioralProcess: bad output index");
+  }
+  self_.emit(ctx_, *self_.outPorts_[index], value, delay);
+}
+
+Word& BehavioralProcess::Activation::memory(std::size_t slot, int width) {
+  auto& mem = self_.state<State>(ctx_).memory;
+  auto it = mem.find(slot);
+  if (it == mem.end()) {
+    it = mem.emplace(slot, Word::allX(width)).first;
+  }
+  if (it->second.width() != width) {
+    throw std::logic_error("BehavioralProcess: memory slot width conflict");
+  }
+  return it->second;
+}
+
+void BehavioralProcess::Activation::wakeAfter(SimTime delay) {
+  self_.selfSchedule(ctx_, delay, kWakeTag);
+}
+
+void BehavioralProcess::Activation::stopPeriodic() {
+  self_.state<State>(ctx_).periodicStopped = true;
+}
+
+SimTime BehavioralProcess::Activation::now() const {
+  return ctx_.scheduler.now();
+}
+
+// --- BehavioralProcess -------------------------------------------------
+
+BehavioralProcess::BehavioralProcess(
+    std::string name, std::vector<std::pair<std::string, Connector*>> inputs,
+    std::vector<std::pair<std::string, Connector*>> outputs,
+    Behaviour behaviour, SimTime period)
+    : Module(std::move(name)),
+      behaviour_(std::move(behaviour)),
+      period_(period) {
+  if (!behaviour_) {
+    throw std::invalid_argument("BehavioralProcess: null behaviour");
+  }
+  for (auto& [portName, conn] : inputs) {
+    if (conn == nullptr) throw std::invalid_argument("null input connector");
+    inPorts_.push_back(&addInput(portName, *conn));
+  }
+  for (auto& [portName, conn] : outputs) {
+    if (conn == nullptr) throw std::invalid_argument("null output connector");
+    outPorts_.push_back(&addOutput(portName, *conn));
+  }
+}
+
+void BehavioralProcess::initialize(SimContext& ctx) {
+  if (period_ > 0) selfSchedule(ctx, 0, kPeriodTag);
+}
+
+void BehavioralProcess::activate(SimContext& ctx, bool periodic) {
+  Activation act(*this, ctx, periodic);
+  behaviour_(act);
+}
+
+void BehavioralProcess::processInputEvent(const SignalToken&, SimContext& ctx) {
+  State& st = state<State>(ctx);
+  if (st.evalPending) return;
+  st.evalPending = true;
+  selfSchedule(ctx, 0, kEvalTag);
+}
+
+void BehavioralProcess::processSelfEvent(const SelfToken& token,
+                                         SimContext& ctx) {
+  switch (token.tag()) {
+    case kEvalTag:
+      state<State>(ctx).evalPending = false;
+      activate(ctx, /*periodic=*/false);
+      break;
+    case kPeriodTag:
+      activate(ctx, /*periodic=*/true);
+      if (period_ > 0 && !state<State>(ctx).periodicStopped) {
+        selfSchedule(ctx, period_, kPeriodTag);
+      }
+      break;
+    case kWakeTag:
+      activate(ctx, /*periodic=*/true);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace vcad::rtl

@@ -1,0 +1,91 @@
+// Behavioral abstraction level — the paper reports "an implementation at
+// the behavioral level" beyond gate and RTL, and lists higher abstraction
+// levels as future work.
+//
+// A BehavioralProcess wraps an arbitrary user behaviour: it wakes on any
+// input event (coalesced per simulation instant) and/or periodically, reads
+// its input ports, may keep per-scheduler state in a small memory bank, and
+// drives outputs with optional delays. This is the "custom module" escape
+// hatch the paper sketches for abstract design representations (e.g. video
+// streams into a DSP): the connector payload is still a Word, but the
+// behaviour is unconstrained C++.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/module.hpp"
+
+namespace vcad::rtl {
+
+class BehavioralProcess final : public Module {
+ public:
+  /// Facade handed to the behaviour on every activation.
+  class Activation {
+   public:
+    /// Current input values, in port-declaration order.
+    const std::vector<Word>& inputs() const { return inputs_; }
+
+    /// Drives output `index` (port-declaration order) after `delay` ticks.
+    void drive(std::size_t index, const Word& value, SimTime delay = 0);
+
+    /// Per-scheduler persistent memory slot (created on first access with
+    /// the given width, all-X). Lets behaviours be stateful without
+    /// breaking multi-scheduler isolation.
+    Word& memory(std::size_t slot, int width);
+
+    /// Requests another activation `delay` ticks from now even without new
+    /// input events.
+    void wakeAfter(SimTime delay);
+
+    /// Stops the periodic self-trigger (for finite autonomous processes);
+    /// input events still activate the behaviour.
+    void stopPeriodic();
+
+    SimTime now() const;
+    bool periodicWake() const { return periodic_; }
+
+   private:
+    friend class BehavioralProcess;
+    Activation(BehavioralProcess& self, SimContext& ctx, bool periodic);
+
+    BehavioralProcess& self_;
+    SimContext& ctx_;
+    std::vector<Word> inputs_;
+    bool periodic_;
+  };
+
+  using Behaviour = std::function<void(Activation&)>;
+
+  /// `period` > 0 additionally self-triggers the behaviour every `period`
+  /// ticks starting at t=0 (autonomous processes, e.g. traffic generators).
+  BehavioralProcess(std::string name,
+                    std::vector<std::pair<std::string, Connector*>> inputs,
+                    std::vector<std::pair<std::string, Connector*>> outputs,
+                    Behaviour behaviour, SimTime period = 0);
+
+  void initialize(SimContext& ctx) override;
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+  void processSelfEvent(const SelfToken& token, SimContext& ctx) override;
+
+ private:
+  struct State : ModuleState {
+    bool evalPending = false;
+    bool periodicStopped = false;
+    std::map<std::size_t, Word> memory;
+  };
+
+  void activate(SimContext& ctx, bool periodic);
+
+  Behaviour behaviour_;
+  SimTime period_;
+  std::vector<Port*> inPorts_;
+  std::vector<Port*> outPorts_;
+
+  static constexpr int kEvalTag = 0;
+  static constexpr int kPeriodTag = 1;
+  static constexpr int kWakeTag = 2;
+};
+
+}  // namespace vcad::rtl

@@ -1,0 +1,376 @@
+#include "rtl/modules.hpp"
+
+#include <stdexcept>
+
+#include "core/connector.hpp"
+
+namespace vcad::rtl {
+
+// --- RandomPrimaryInput ------------------------------------------------
+
+RandomPrimaryInput::RandomPrimaryInput(std::string name, int width,
+                                       Connector& out, std::size_t count,
+                                       SimTime period, std::uint64_t seed)
+    : Module(std::move(name)),
+      width_(width),
+      count_(count),
+      period_(period),
+      seed_(seed) {
+  if (out.width() != width) {
+    throw std::invalid_argument("RandomPrimaryInput '" + this->name() +
+                                "': connector width mismatch");
+  }
+  if (period == 0) {
+    throw std::invalid_argument("RandomPrimaryInput '" + this->name() +
+                                "': period must be positive");
+  }
+  out_ = &addOutput("out", out);
+}
+
+void RandomPrimaryInput::initialize(SimContext& ctx) {
+  if (count_ > 0) selfSchedule(ctx, 0);
+}
+
+void RandomPrimaryInput::processSelfEvent(const SelfToken&, SimContext& ctx) {
+  State& st = state<State>(ctx);
+  if (!st.seeded) {
+    // Every scheduler sees the same deterministic stream, so repeated or
+    // concurrent simulations of one design are exactly reproducible.
+    st.rng = Rng(seed_);
+    st.seeded = true;
+  }
+  if (st.emitted >= count_) return;
+  ++st.emitted;
+  emit(ctx, *out_, Word::fromUint(width_, st.rng.next()));
+  if (st.emitted < count_) selfSchedule(ctx, period_);
+}
+
+// --- PrimaryOutput ---------------------------------------------------------
+
+PrimaryOutput::PrimaryOutput(std::string name, Connector& in)
+    : Module(std::move(name)) {
+  in_ = &addInput("in", in);
+}
+
+void PrimaryOutput::processInputEvent(const SignalToken& token,
+                                      SimContext& ctx) {
+  state<State>(ctx).samples.push_back(Sample{ctx.scheduler.now(), token.value()});
+}
+
+const std::vector<PrimaryOutput::Sample>& PrimaryOutput::history(
+    const SimContext& ctx) {
+  return state<State>(ctx).samples;
+}
+
+Word PrimaryOutput::last(const SimContext& ctx) {
+  auto& samples = state<State>(ctx).samples;
+  return samples.empty() ? Word::allX(in_->width()) : samples.back().value;
+}
+
+std::size_t PrimaryOutput::sampleCount(const SimContext& ctx) {
+  return state<State>(ctx).samples.size();
+}
+
+// --- Register --------------------------------------------------------------
+
+Register::Register(std::string name, Connector& d, Connector& q,
+                   Connector* clk)
+    : Module(std::move(name)) {
+  if (d.width() != q.width()) {
+    throw std::invalid_argument("Register '" + this->name() +
+                                "': D/Q width mismatch");
+  }
+  d_ = &addInput("d", d);
+  q_ = &addOutput("q", q);
+  if (clk != nullptr) {
+    if (clk->width() != 1) {
+      throw std::invalid_argument("Register '" + this->name() +
+                                  "': clock must be 1 bit wide");
+    }
+    clk_ = &addInput("clk", *clk);
+  }
+}
+
+void Register::processInputEvent(const SignalToken& token, SimContext& ctx) {
+  State& st = state<State>(ctx);
+  if (clk_ == nullptr) {
+    // Latch style: present the sampled input one tick later.
+    if (&token.target() == d_) emit(ctx, *q_, token.value(), 1);
+    return;
+  }
+  if (&token.target() == d_) {
+    st.stored = token.value();
+    return;
+  }
+  // Clock event: emit on rising edge only.
+  const Logic now = token.value().scalar();
+  const bool rising = (st.lastClk == Logic::L0 && now == Logic::L1);
+  st.lastClk = now;
+  if (rising && !st.stored.empty()) emit(ctx, *q_, st.stored);
+}
+
+// --- WordMultiplier ----------------------------------------------------
+
+WordMultiplier::WordMultiplier(std::string name, int width, Connector& a,
+                               Connector& b, Connector& o, SimTime latency)
+    : Module(std::move(name)), width_(width), latency_(latency) {
+  if (a.width() != width || b.width() != width || o.width() != 2 * width) {
+    throw std::invalid_argument("WordMultiplier '" + this->name() +
+                                "': connector widths must be w, w, 2w");
+  }
+  a_ = &addInput("a", a);
+  b_ = &addInput("b", b);
+  o_ = &addOutput("o", o);
+}
+
+void WordMultiplier::processInputEvent(const SignalToken&, SimContext& ctx) {
+  const Word a = readInput(ctx, *a_);
+  const Word b = readInput(ctx, *b_);
+  if (!a.isFullyKnown() || !b.isFullyKnown()) {
+    emit(ctx, *o_, Word::allX(2 * width_), latency_);
+    return;
+  }
+  emit(ctx, *o_, Word::fromUint(2 * width_, a.toUint() * b.toUint()),
+       latency_);
+}
+
+// --- WordAdder ---------------------------------------------------------
+
+WordAdder::WordAdder(std::string name, int width, Connector& a, Connector& b,
+                     Connector& s, SimTime latency)
+    : Module(std::move(name)), width_(width), latency_(latency) {
+  if (a.width() != width || b.width() != width || s.width() != width + 1) {
+    throw std::invalid_argument("WordAdder '" + this->name() +
+                                "': connector widths must be w, w, w+1");
+  }
+  a_ = &addInput("a", a);
+  b_ = &addInput("b", b);
+  s_ = &addOutput("s", s);
+}
+
+void WordAdder::processInputEvent(const SignalToken&, SimContext& ctx) {
+  const Word a = readInput(ctx, *a_);
+  const Word b = readInput(ctx, *b_);
+  if (!a.isFullyKnown() || !b.isFullyKnown()) {
+    emit(ctx, *s_, Word::allX(width_ + 1), latency_);
+    return;
+  }
+  emit(ctx, *s_, Word::fromUint(width_ + 1, a.toUint() + b.toUint()),
+       latency_);
+}
+
+// --- Alu ---------------------------------------------------------------
+
+Alu::Alu(std::string name, int width, Connector& a, Connector& b,
+         Connector& op, Connector& y)
+    : Module(std::move(name)), width_(width) {
+  if (a.width() != width || b.width() != width || y.width() != width) {
+    throw std::invalid_argument("Alu '" + this->name() +
+                                "': operand widths must match");
+  }
+  if (op.width() != 3) {
+    throw std::invalid_argument("Alu '" + this->name() + "': op is 3 bits");
+  }
+  a_ = &addInput("a", a);
+  b_ = &addInput("b", b);
+  op_ = &addInput("op", op);
+  y_ = &addOutput("y", y);
+}
+
+void Alu::processInputEvent(const SignalToken&, SimContext& ctx) {
+  const Word a = readInput(ctx, *a_);
+  const Word b = readInput(ctx, *b_);
+  const Word op = readInput(ctx, *op_);
+  if (!a.isFullyKnown() || !b.isFullyKnown() || !op.isFullyKnown()) {
+    emit(ctx, *y_, Word::allX(width_));
+    return;
+  }
+  const std::uint64_t av = a.toUint();
+  const std::uint64_t bv = b.toUint();
+  std::uint64_t r = 0;
+  switch (static_cast<AluOp>(op.toUint())) {
+    case AluOp::Add:
+      r = av + bv;
+      break;
+    case AluOp::Sub:
+      r = av - bv;
+      break;
+    case AluOp::And:
+      r = av & bv;
+      break;
+    case AluOp::Or:
+      r = av | bv;
+      break;
+    case AluOp::Xor:
+      r = av ^ bv;
+      break;
+    case AluOp::Nor:
+      r = ~(av | bv);
+      break;
+    case AluOp::Pass:
+      r = av;
+      break;
+    default:
+      emit(ctx, *y_, Word::allX(width_));
+      return;
+  }
+  emit(ctx, *y_, Word::fromUint(width_, r));
+}
+
+// --- Mux2 --------------------------------------------------------------
+
+Mux2::Mux2(std::string name, int width, Connector& a, Connector& b,
+           Connector& sel, Connector& y)
+    : Module(std::move(name)), width_(width) {
+  if (a.width() != width || b.width() != width || y.width() != width ||
+      sel.width() != 1) {
+    throw std::invalid_argument("Mux2 '" + this->name() +
+                                "': bad connector widths");
+  }
+  a_ = &addInput("a", a);
+  b_ = &addInput("b", b);
+  sel_ = &addInput("sel", sel);
+  y_ = &addOutput("y", y);
+}
+
+void Mux2::processInputEvent(const SignalToken&, SimContext& ctx) {
+  const Logic sel = readInput(ctx, *sel_).scalar();
+  if (!isKnown(sel)) {
+    emit(ctx, *y_, Word::allX(width_));
+    return;
+  }
+  emit(ctx, *y_, readInput(ctx, sel == Logic::L1 ? *b_ : *a_));
+}
+
+// --- Memory ------------------------------------------------------------
+
+Memory::Memory(std::string name, int addrBits, int dataBits, Connector& addr,
+               Connector& wdata, Connector& we, Connector& rdata)
+    : Module(std::move(name)), addrBits_(addrBits), dataBits_(dataBits) {
+  if (addr.width() != addrBits || wdata.width() != dataBits ||
+      rdata.width() != dataBits || we.width() != 1) {
+    throw std::invalid_argument("Memory '" + this->name() +
+                                "': connector width mismatch");
+  }
+  addr_ = &addInput("addr", addr);
+  wdata_ = &addInput("wdata", wdata);
+  we_ = &addInput("we", we);
+  rdata_ = &addOutput("rdata", rdata);
+}
+
+void Memory::processInputEvent(const SignalToken&, SimContext& ctx) {
+  State& st = state<State>(ctx);
+  if (st.evalPending) return;
+  st.evalPending = true;
+  selfSchedule(ctx, 0);
+}
+
+void Memory::processSelfEvent(const SelfToken&, SimContext& ctx) {
+  State& st = state<State>(ctx);
+  st.evalPending = false;
+  const Word addr = readInput(ctx, *addr_);
+  if (!addr.isFullyKnown()) {
+    emit(ctx, *rdata_, Word::allX(dataBits_));
+    return;
+  }
+  const std::uint64_t a = addr.toUint();
+  const Logic we = readInput(ctx, *we_).scalar();
+  if (we == Logic::L1) {
+    st.cells[a] = readInput(ctx, *wdata_);
+  }
+  auto it = st.cells.find(a);
+  emit(ctx, *rdata_, it != st.cells.end() ? it->second : Word::allX(dataBits_));
+}
+
+Word Memory::peek(const SimContext& ctx, std::uint64_t address) {
+  auto& cells = state<State>(ctx).cells;
+  auto it = cells.find(address);
+  return it != cells.end() ? it->second : Word::allX(dataBits_);
+}
+
+void Memory::poke(const SimContext& ctx, std::uint64_t address,
+                  const Word& value) {
+  if (value.width() != dataBits_) {
+    throw std::invalid_argument("Memory::poke: width mismatch");
+  }
+  state<State>(ctx).cells[address] = value;
+}
+
+// --- ClockGenerator ----------------------------------------------------
+
+ClockGenerator::ClockGenerator(std::string name, Connector& clk,
+                               SimTime halfPeriod, std::size_t cycles)
+    : Module(std::move(name)), halfPeriod_(halfPeriod), cycles_(cycles) {
+  if (clk.width() != 1) {
+    throw std::invalid_argument("ClockGenerator '" + this->name() +
+                                "': clock connector must be 1 bit");
+  }
+  if (halfPeriod == 0) {
+    throw std::invalid_argument("ClockGenerator '" + this->name() +
+                                "': half period must be positive");
+  }
+  clk_ = &addOutput("clk", clk);
+}
+
+void ClockGenerator::initialize(SimContext& ctx) { selfSchedule(ctx, 0); }
+
+void ClockGenerator::processSelfEvent(const SelfToken&, SimContext& ctx) {
+  State& st = state<State>(ctx);
+  emit(ctx, *clk_, Word::fromLogic(st.level));
+  st.level = logicNot(st.level);
+  ++st.edges;
+  if (cycles_ == 0 || st.edges < 2 * cycles_) selfSchedule(ctx, halfPeriod_);
+}
+
+// --- Splitter / Merger -------------------------------------------------
+
+Splitter::Splitter(std::string name, Connector& word,
+                   std::vector<Connector*> bits)
+    : Module(std::move(name)) {
+  if (static_cast<int>(bits.size()) != word.width()) {
+    throw std::invalid_argument("Splitter '" + this->name() +
+                                "': need one bit connector per word bit");
+  }
+  in_ = &addInput("in", word);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == nullptr || bits[i]->width() != 1) {
+      throw std::invalid_argument("Splitter '" + this->name() +
+                                  "': branch connectors must be 1 bit");
+    }
+    bitPorts_.push_back(&addOutput("b" + std::to_string(i), *bits[i]));
+  }
+}
+
+void Splitter::processInputEvent(const SignalToken& token, SimContext& ctx) {
+  for (size_t i = 0; i < bitPorts_.size(); ++i) {
+    emit(ctx, *bitPorts_[i],
+         Word::fromLogic(token.value().bit(static_cast<int>(i))));
+  }
+}
+
+Merger::Merger(std::string name, std::vector<Connector*> bits,
+               Connector& word)
+    : Module(std::move(name)) {
+  if (static_cast<int>(bits.size()) != word.width()) {
+    throw std::invalid_argument("Merger '" + this->name() +
+                                "': need one bit connector per word bit");
+  }
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == nullptr || bits[i]->width() != 1) {
+      throw std::invalid_argument("Merger '" + this->name() +
+                                  "': inputs must be 1 bit");
+    }
+    bitPorts_.push_back(&addInput("b" + std::to_string(i), *bits[i]));
+  }
+  out_ = &addOutput("out", word);
+}
+
+void Merger::processInputEvent(const SignalToken&, SimContext& ctx) {
+  Word w(static_cast<int>(bitPorts_.size()));
+  for (size_t i = 0; i < bitPorts_.size(); ++i) {
+    w.setBit(static_cast<int>(i), readInput(ctx, *bitPorts_[i]).scalar());
+  }
+  emit(ctx, *out_, w);
+}
+
+}  // namespace vcad::rtl

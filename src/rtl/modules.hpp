@@ -1,0 +1,235 @@
+// Word-level (RTL) module library: the local building blocks an IP user
+// wires around purchased components — registers, stimulus sources, output
+// observers, behavioral arithmetic, clocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/module.hpp"
+#include "core/rng.hpp"
+
+namespace vcad::rtl {
+
+/// Autonomous random stimulus source. Self-triggers every `period` ticks and
+/// emits a fresh uniformly random word, `count` times. This is the
+/// "RandomPrimaryInput" of the paper's Figure 2.
+class RandomPrimaryInput final : public Module {
+ public:
+  RandomPrimaryInput(std::string name, int width, Connector& out,
+                     std::size_t count, SimTime period = 10,
+                     std::uint64_t seed = 1);
+
+  void initialize(SimContext& ctx) override;
+  void processSelfEvent(const SelfToken& token, SimContext& ctx) override;
+
+  std::size_t patternCount() const { return count_; }
+  SimTime period() const { return period_; }
+
+ private:
+  struct State : ModuleState {
+    Rng rng{1};
+    bool seeded = false;
+    std::size_t emitted = 0;
+  };
+
+  Port* out_;
+  int width_;
+  std::size_t count_;
+  SimTime period_;
+  std::uint64_t seed_;
+};
+
+/// Observation endpoint: records every word that reaches it, per scheduler.
+class PrimaryOutput final : public Module {
+ public:
+  PrimaryOutput(std::string name, Connector& in);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+  struct Sample {
+    SimTime time;
+    Word value;
+  };
+
+  const std::vector<Sample>& history(const SimContext& ctx);
+  Word last(const SimContext& ctx);
+  std::size_t sampleCount(const SimContext& ctx);
+
+ private:
+  struct State : ModuleState {
+    std::vector<Sample> samples;
+  };
+
+  Port* in_;
+};
+
+/// Edge-triggered register. With a clock connector, the D input is sampled
+/// and presented on Q at every rising clock edge; without one, the register
+/// degenerates to a 1-tick transport latch (the style used in Figure 2).
+class Register final : public Module {
+ public:
+  Register(std::string name, Connector& d, Connector& q,
+           Connector* clk = nullptr);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ private:
+  struct State : ModuleState {
+    Word stored;
+    Logic lastClk = Logic::X;
+  };
+
+  Port* d_;
+  Port* q_;
+  Port* clk_ = nullptr;
+};
+
+/// Behavioral multiplier: O = A * B, with a configurable output latency.
+/// This is the *abstract functional model* of the paper's MULT component —
+/// the public part an IP provider is willing to disclose.
+class WordMultiplier : public Module {
+ public:
+  WordMultiplier(std::string name, int width, Connector& a, Connector& b,
+                 Connector& o, SimTime latency = 0);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ protected:
+  Port* a_;
+  Port* b_;
+  Port* o_;
+  int width_;
+  SimTime latency_;
+};
+
+/// Behavioral adder: S = A + B (width+1 bits of output).
+class WordAdder final : public Module {
+ public:
+  WordAdder(std::string name, int width, Connector& a, Connector& b,
+            Connector& s, SimTime latency = 0);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ private:
+  Port* a_;
+  Port* b_;
+  Port* s_;
+  int width_;
+  SimTime latency_;
+};
+
+/// Behavioral ALU over two operands with a 3-bit op input.
+enum class AluOp : std::uint8_t { Add = 0, Sub, And, Or, Xor, Nor, Pass };
+
+class Alu final : public Module {
+ public:
+  Alu(std::string name, int width, Connector& a, Connector& b, Connector& op,
+      Connector& y);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ private:
+  Port* a_;
+  Port* b_;
+  Port* op_;
+  Port* y_;
+  int width_;
+};
+
+/// Two-way word multiplexer: Y = sel ? B : A.
+class Mux2 final : public Module {
+ public:
+  Mux2(std::string name, int width, Connector& a, Connector& b,
+       Connector& sel, Connector& y);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ private:
+  Port* a_;
+  Port* b_;
+  Port* sel_;
+  Port* y_;
+  int width_;
+};
+
+/// Word-addressable synchronous memory. Ports: addr, wdata, we (1 bit),
+/// rdata. A write-enable event samples addr/wdata and stores; every event
+/// also emits the (post-write) word at addr on rdata. Contents are
+/// per-scheduler state, so concurrent simulations see independent memories.
+class Memory final : public Module {
+ public:
+  Memory(std::string name, int addrBits, int dataBits, Connector& addr,
+         Connector& wdata, Connector& we, Connector& rdata);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+  void processSelfEvent(const SelfToken& token, SimContext& ctx) override;
+
+  /// Direct (testbench) access to the per-scheduler contents.
+  Word peek(const SimContext& ctx, std::uint64_t address);
+  void poke(const SimContext& ctx, std::uint64_t address, const Word& value);
+
+ private:
+  struct State : ModuleState {
+    bool evalPending = false;
+    std::map<std::uint64_t, Word> cells;  // sparse; absent = all-X
+  };
+
+  Port* addr_;
+  Port* wdata_;
+  Port* we_;
+  Port* rdata_;
+  int addrBits_;
+  int dataBits_;
+};
+
+/// Free-running clock: toggles its output every half `period`, `cycles`
+/// times (0 = forever — guard simulations with runUntil). Implemented with
+/// the self-trigger capability of tokens and schedulers.
+class ClockGenerator final : public Module {
+ public:
+  ClockGenerator(std::string name, Connector& clk, SimTime halfPeriod,
+                 std::size_t cycles);
+
+  void initialize(SimContext& ctx) override;
+  void processSelfEvent(const SelfToken& token, SimContext& ctx) override;
+
+ private:
+  struct State : ModuleState {
+    Logic level = Logic::L0;
+    std::size_t edges = 0;
+  };
+
+  Port* clk_;
+  SimTime halfPeriod_;
+  std::size_t cycles_;
+};
+
+/// Word-to-bits interface module: fans a word out to per-bit connectors.
+/// Together with Merger, it bridges RTL and gate-level design regions
+/// (mixed-level system descriptions).
+class Splitter final : public Module {
+ public:
+  Splitter(std::string name, Connector& word, std::vector<Connector*> bits);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ private:
+  Port* in_;
+  std::vector<Port*> bitPorts_;
+};
+
+/// Bits-to-word interface module: assembles per-bit connectors into a word.
+class Merger final : public Module {
+ public:
+  Merger(std::string name, std::vector<Connector*> bits, Connector& word);
+
+  void processInputEvent(const SignalToken& token, SimContext& ctx) override;
+
+ private:
+  std::vector<Port*> bitPorts_;
+  Port* out_;
+};
+
+}  // namespace vcad::rtl

@@ -1,0 +1,63 @@
+// Value-change-dump (VCD, IEEE 1364) export of simulation results, so
+// waveforms recorded by the backplane can be inspected in any standard
+// viewer (GTKWave etc.).
+//
+// Tracks are fed either directly (addChange) or from the sample history of
+// PrimaryOutput observers after a run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.hpp"
+#include "core/word.hpp"
+#include "rtl/modules.hpp"
+
+namespace vcad::rtl {
+
+class VcdWriter {
+ public:
+  /// `timescale` is emitted verbatim, e.g. "1ns".
+  explicit VcdWriter(std::string timescale = "1ns");
+
+  /// Declares a track; returns its handle.
+  int addTrack(const std::string& name, int width);
+
+  /// Records a value change. Changes may arrive in any order; they are
+  /// sorted by time at write-out. Identical consecutive values are
+  /// deduplicated per track.
+  void addChange(int track, SimTime time, const Word& value);
+
+  /// Convenience: declares a track and feeds a PrimaryOutput's history.
+  int addTrack(const std::string& name, PrimaryOutput& out,
+               const SimContext& ctx);
+
+  /// Emits the complete VCD document.
+  void write(std::ostream& os) const;
+
+  /// Writes to a file; throws std::runtime_error when the file can't be
+  /// opened.
+  void writeFile(const std::string& path) const;
+
+  std::size_t trackCount() const { return tracks_.size(); }
+
+ private:
+  struct Change {
+    SimTime time;
+    Word value;
+  };
+  struct Track {
+    std::string name;
+    int width;
+    std::string id;  // VCD short identifier
+    std::vector<Change> changes;
+  };
+
+  static std::string idFor(int index);
+
+  std::string timescale_;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace vcad::rtl

@@ -1,0 +1,73 @@
+#include "core/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sim_controller.hpp"
+#include "core/wiring.hpp"
+
+namespace vcad {
+namespace {
+
+class Dummy : public Module {
+ public:
+  using Module::Module;
+};
+
+TEST(Circuit, MakeOwnsModulesAndConnectors) {
+  Circuit c("top");
+  auto& m = c.make<Dummy>("m");
+  auto& w = c.makeWord(8, "w");
+  EXPECT_EQ(c.submodules().size(), 1u);
+  EXPECT_EQ(c.connectors().size(), 1u);
+  EXPECT_EQ(&m, c.findChild("m"));
+  EXPECT_EQ(w.width(), 8);
+}
+
+TEST(Circuit, FindChildMissingReturnsNull) {
+  Circuit c("top");
+  EXPECT_EQ(c.findChild("nope"), nullptr);
+}
+
+TEST(Circuit, AdoptNullRejected) {
+  Circuit c("top");
+  EXPECT_THROW(c.adopt(nullptr), std::invalid_argument);
+}
+
+TEST(Circuit, VisitLeavesRecursesHierarchy) {
+  Circuit top("top");
+  top.make<Dummy>("a");
+  auto& mid = top.make<Circuit>("mid");
+  mid.make<Dummy>("b");
+  auto& leafCircuit = mid.make<Circuit>("deep");
+  leafCircuit.make<Dummy>("c");
+  std::vector<std::string> names;
+  top.visitLeaves([&](Module& m) { names.push_back(m.name()); });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(top.leafCount(), 3u);
+}
+
+TEST(Circuit, EmptyCircuitHasNoLeaves) {
+  Circuit c("top");
+  EXPECT_EQ(c.leafCount(), 0u);
+}
+
+TEST(Circuit, HierarchyBridgedWithBuffers) {
+  // Outer connector -> buffer bridge inside a subcircuit -> inner consumer:
+  // an event injected on the outer connector reaches the inner one.
+  Circuit top("top");
+  auto& outer = top.makeWord(8, "outer");
+  auto& sub = top.make<Circuit>("sub");
+  auto& inner = sub.makeWord(8, "inner");
+  sub.make<Buffer>("bridge", outer, inner);
+  // Terminate the inner connector with another buffer into a tap.
+  auto& tap = sub.makeWord(8, "tap");
+  sub.make<Buffer>("sink", inner, tap);
+
+  SimulationController sim(top);
+  sim.inject(outer, Word::fromUint(8, 0x42));
+  sim.start();
+  EXPECT_EQ(tap.value(sim.scheduler().id()).toUint(), 0x42u);
+}
+
+}  // namespace
+}  // namespace vcad

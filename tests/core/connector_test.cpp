@@ -1,0 +1,107 @@
+#include "core/connector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/module.hpp"
+
+namespace vcad {
+namespace {
+
+// Minimal concrete module for wiring tests.
+class Dummy : public Module {
+ public:
+  using Module::Module;
+};
+
+TEST(Connector, AttachSetsPeerRelation) {
+  Dummy a("a");
+  Dummy b("b");
+  WordConnector c(8, "c");
+  Port& pa = a.addOutput("out", c);
+  Port& pb = b.addInput("in", c);
+  EXPECT_EQ(c.peerOf(pa), &pb);
+  EXPECT_EQ(c.peerOf(pb), &pa);
+  EXPECT_EQ(pa.connector(), &c);
+  EXPECT_TRUE(pb.isConnected());
+}
+
+TEST(Connector, WidthMismatchRejected) {
+  Dummy a("a");
+  WordConnector c(8);
+  Port& p = a.addPort("p", PortDir::Out, 4);
+  EXPECT_THROW(c.attach(p), std::invalid_argument);
+}
+
+TEST(Connector, PointToPointOnly) {
+  Dummy a("a"), b("b"), d("d");
+  WordConnector c(8);
+  a.addOutput("out", c);
+  b.addInput("in", c);
+  Port& extra = d.addPort("in", PortDir::In, 8);
+  EXPECT_THROW(c.attach(extra), std::logic_error);
+}
+
+TEST(Connector, TwoDriversRejected) {
+  Dummy a("a"), b("b");
+  WordConnector c(8);
+  a.addOutput("out", c);
+  EXPECT_THROW(b.addOutput("out", c), std::logic_error);
+}
+
+TEST(Connector, TwoReceiversRejected) {
+  Dummy a("a"), b("b");
+  WordConnector c(8);
+  a.addInput("in", c);
+  EXPECT_THROW(b.addInput("in", c), std::logic_error);
+}
+
+TEST(Connector, InOutPairsWithAnything) {
+  Dummy a("a"), b("b");
+  WordConnector c(8);
+  EXPECT_NO_THROW(a.addInOut("io", c));
+  EXPECT_NO_THROW(b.addInOut("io", c));
+}
+
+TEST(Connector, PortCannotAttachTwice) {
+  Dummy a("a");
+  WordConnector c1(8), c2(8);
+  Port& p = a.addOutput("out", c1);
+  EXPECT_THROW(c2.attach(p), std::logic_error);
+}
+
+TEST(Connector, ValueIsPerScheduler) {
+  WordConnector c(4);
+  c.setValue(1, Word::fromUint(4, 0xA));
+  c.setValue(2, Word::fromUint(4, 0x5));
+  EXPECT_EQ(c.value(1).toUint(), 0xAu);
+  EXPECT_EQ(c.value(2).toUint(), 0x5u);
+  // A scheduler that never wrote sees all-X.
+  EXPECT_FALSE(c.value(3).isFullyKnown());
+}
+
+TEST(Connector, ClearValueIsolatesOneScheduler) {
+  WordConnector c(4);
+  c.setValue(1, Word::fromUint(4, 1));
+  c.setValue(2, Word::fromUint(4, 2));
+  c.clearValue(1);
+  EXPECT_FALSE(c.value(1).isFullyKnown());
+  EXPECT_EQ(c.value(2).toUint(), 2u);
+}
+
+TEST(Connector, SetValueWidthChecked) {
+  WordConnector c(4);
+  EXPECT_THROW(c.setValue(1, Word::fromUint(8, 0)), std::invalid_argument);
+}
+
+TEST(Connector, BadWidthRejected) {
+  EXPECT_THROW(WordConnector(0), std::invalid_argument);
+  EXPECT_THROW(WordConnector(65), std::invalid_argument);
+}
+
+TEST(Connector, BitConnectorIsWidthOne) {
+  BitConnector c;
+  EXPECT_EQ(c.width(), 1);
+}
+
+}  // namespace
+}  // namespace vcad

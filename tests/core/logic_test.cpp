@@ -1,0 +1,97 @@
+#include "core/logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace vcad {
+namespace {
+
+constexpr std::array<Logic, 4> kAll = {Logic::L0, Logic::L1, Logic::X,
+                                       Logic::Z};
+
+TEST(Logic, NotTruthTable) {
+  EXPECT_EQ(logicNot(Logic::L0), Logic::L1);
+  EXPECT_EQ(logicNot(Logic::L1), Logic::L0);
+  EXPECT_EQ(logicNot(Logic::X), Logic::X);
+  EXPECT_EQ(logicNot(Logic::Z), Logic::X);
+}
+
+TEST(Logic, AndControllingZeroDominatesUnknown) {
+  EXPECT_EQ(logicAnd(Logic::L0, Logic::X), Logic::L0);
+  EXPECT_EQ(logicAnd(Logic::X, Logic::L0), Logic::L0);
+  EXPECT_EQ(logicAnd(Logic::L0, Logic::Z), Logic::L0);
+  EXPECT_EQ(logicAnd(Logic::L1, Logic::X), Logic::X);
+}
+
+TEST(Logic, OrControllingOneDominatesUnknown) {
+  EXPECT_EQ(logicOr(Logic::L1, Logic::X), Logic::L1);
+  EXPECT_EQ(logicOr(Logic::Z, Logic::L1), Logic::L1);
+  EXPECT_EQ(logicOr(Logic::L0, Logic::X), Logic::X);
+}
+
+TEST(Logic, XorUnknownPoisons) {
+  EXPECT_EQ(logicXor(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logicXor(Logic::Z, Logic::L0), Logic::X);
+  EXPECT_EQ(logicXor(Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logicXor(Logic::L1, Logic::L1), Logic::L0);
+}
+
+TEST(Logic, KnownValuesMatchBoolAlgebra) {
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      EXPECT_EQ(logicAnd(fromBool(a), fromBool(b)), fromBool(a && b));
+      EXPECT_EQ(logicOr(fromBool(a), fromBool(b)), fromBool(a || b));
+      EXPECT_EQ(logicXor(fromBool(a), fromBool(b)), fromBool(a != b));
+      EXPECT_EQ(logicNand(fromBool(a), fromBool(b)), fromBool(!(a && b)));
+      EXPECT_EQ(logicNor(fromBool(a), fromBool(b)), fromBool(!(a || b)));
+      EXPECT_EQ(logicXnor(fromBool(a), fromBool(b)), fromBool(a == b));
+    }
+  }
+}
+
+TEST(Logic, CommutativityProperty) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(logicAnd(a, b), logicAnd(b, a));
+      EXPECT_EQ(logicOr(a, b), logicOr(b, a));
+      EXPECT_EQ(logicXor(a, b), logicXor(b, a));
+    }
+  }
+}
+
+TEST(Logic, DeMorganProperty) {
+  for (Logic a : kAll) {
+    for (Logic b : kAll) {
+      EXPECT_EQ(logicNand(a, b), logicOr(logicNot(a), logicNot(b)));
+      EXPECT_EQ(logicNor(a, b), logicAnd(logicNot(a), logicNot(b)));
+    }
+  }
+}
+
+TEST(Logic, DoubleNegationOnKnown) {
+  EXPECT_EQ(logicNot(logicNot(Logic::L0)), Logic::L0);
+  EXPECT_EQ(logicNot(logicNot(Logic::L1)), Logic::L1);
+}
+
+TEST(Logic, BufNormalizesZ) {
+  EXPECT_EQ(logicBuf(Logic::Z), Logic::X);
+  EXPECT_EQ(logicBuf(Logic::L1), Logic::L1);
+}
+
+TEST(Logic, CharRoundTrip) {
+  for (Logic v : kAll) {
+    EXPECT_EQ(logicFromChar(toChar(v)), v == Logic::Z ? Logic::Z : v);
+  }
+  EXPECT_THROW(logicFromChar('q'), std::invalid_argument);
+}
+
+TEST(Logic, IsKnown) {
+  EXPECT_TRUE(isKnown(Logic::L0));
+  EXPECT_TRUE(isKnown(Logic::L1));
+  EXPECT_FALSE(isKnown(Logic::X));
+  EXPECT_FALSE(isKnown(Logic::Z));
+}
+
+}  // namespace
+}  // namespace vcad

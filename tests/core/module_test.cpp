@@ -1,0 +1,201 @@
+#include "core/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/connector.hpp"
+#include "core/scheduler.hpp"
+#include "core/setup.hpp"
+
+namespace vcad {
+namespace {
+
+class Dummy : public Module {
+ public:
+  using Module::Module;
+
+  struct Counter : ModuleState {
+    int value = 0;
+  };
+
+  int bump(SimContext& ctx) { return ++state<Counter>(ctx).value; }
+};
+
+TEST(Module, DuplicatePortNameRejected) {
+  Dummy m("m");
+  m.addPort("p", PortDir::In, 4);
+  EXPECT_THROW(m.addPort("p", PortDir::Out, 4), std::logic_error);
+}
+
+TEST(Module, FindPortAndDirectionFilters) {
+  Dummy m("m");
+  WordConnector a(4), b(4), c(4);
+  m.addInput("a", a);
+  m.addInput("b", b);
+  m.addOutput("o", c);
+  EXPECT_EQ(m.ports().size(), 3u);
+  EXPECT_NE(m.findPort("a"), nullptr);
+  EXPECT_EQ(m.findPort("zz"), nullptr);
+  EXPECT_EQ(m.inputPorts().size(), 2u);
+  EXPECT_EQ(m.outputPorts().size(), 1u);
+}
+
+TEST(Module, PerSchedulerStateIsIndependent) {
+  Dummy m("m");
+  Scheduler s1, s2;
+  SimContext c1{s1, nullptr}, c2{s2, nullptr};
+  EXPECT_EQ(m.bump(c1), 1);
+  EXPECT_EQ(m.bump(c1), 2);
+  EXPECT_EQ(m.bump(c2), 1);  // fresh state for the other scheduler
+  EXPECT_EQ(m.bump(c1), 3);
+}
+
+TEST(Module, ConcurrentStateAccessIsSafe) {
+  Dummy m("m");
+  constexpr int kIters = 2000;
+  auto worker = [&m, kIters]() {
+    Scheduler s;
+    SimContext ctx{s, nullptr};
+    for (int i = 0; i < kIters; ++i) m.bump(ctx);
+    EXPECT_EQ(m.state<Dummy::Counter>(ctx).value, kIters);
+  };
+  std::thread t1(worker), t2(worker), t3(worker);
+  t1.join();
+  t2.join();
+  t3.join();
+}
+
+TEST(Module, EmitOnOpenPortIsObservable) {
+  Dummy m("m");
+  Port& p = m.addPort("o", PortDir::Out, 8);
+  Scheduler s;
+  SimContext ctx{s, nullptr};
+  EXPECT_FALSE(m.lastDriven(ctx, p).isFullyKnown());
+  m.emit(ctx, p, Word::fromUint(8, 99));
+  EXPECT_EQ(m.lastDriven(ctx, p).toUint(), 99u);
+}
+
+TEST(Module, EmitOnInputPortRejected) {
+  Dummy m("m");
+  Port& p = m.addPort("i", PortDir::In, 8);
+  Scheduler s;
+  SimContext ctx{s, nullptr};
+  EXPECT_THROW(m.emit(ctx, p, Word::fromUint(8, 0)), std::logic_error);
+}
+
+TEST(Module, ReadInputOnUnconnectedPortIsAllX) {
+  Dummy m("m");
+  Port& p = m.addPort("i", PortDir::In, 8);
+  Scheduler s;
+  SimContext ctx{s, nullptr};
+  EXPECT_FALSE(m.readInput(ctx, p).isFullyKnown());
+}
+
+TEST(Module, EmitIntoOpenEndedConnectorLatchesValue) {
+  Dummy m("m");
+  WordConnector c(8, "tap");
+  Port& p = m.addOutput("o", c);
+  (void)p;
+  Scheduler s;
+  SimContext ctx{s, nullptr};
+  m.emit(ctx, *m.findPort("o"), Word::fromUint(8, 0x5A));
+  s.run();  // the latch happens at the scheduled time, not at emit time
+  EXPECT_EQ(c.value(s.id()).toUint(), 0x5Au);
+}
+
+// --- estimator plumbing ---------------------------------------------------
+
+class FixedEstimator : public Estimator {
+ public:
+  FixedEstimator(std::string name, double value, double err = 10, double cost = 0,
+                 double cpu = 0, bool remote = false)
+      : Estimator(EstimatorInfo{std::move(name), err, cost, cpu, remote, false}),
+        value_(value) {}
+  std::unique_ptr<ParamValue> estimate(const EstimationContext&) override {
+    return std::make_unique<ScalarValue>(value_, "u");
+  }
+
+ private:
+  double value_;
+};
+
+TEST(Module, CandidateEstimatorsAccumulate) {
+  Dummy m("m");
+  m.addEstimator(ParamKind::AvgPower,
+                 std::make_shared<FixedEstimator>("e1", 1.0));
+  m.addEstimator(ParamKind::AvgPower,
+                 std::make_shared<FixedEstimator>("e2", 2.0));
+  m.addEstimator(ParamKind::Area, std::make_shared<FixedEstimator>("a", 3.0));
+  EXPECT_EQ(m.candidateEstimators(ParamKind::AvgPower).size(), 2u);
+  EXPECT_EQ(m.candidateEstimators(ParamKind::Area).size(), 1u);
+  EXPECT_TRUE(m.candidateEstimators(ParamKind::Delay).empty());
+}
+
+TEST(Module, NullEstimatorRejectsNullArgument) {
+  Dummy m("m");
+  EXPECT_THROW(m.addEstimator(ParamKind::Area, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Module, UnboundEstimatorDefaultsToNull) {
+  Dummy m("m");
+  auto est = m.boundEstimator(123, ParamKind::Delay);
+  ASSERT_NE(est, nullptr);
+  EXPECT_EQ(est->name(), "null");
+}
+
+TEST(Module, BindingsAreKeyedBySetup) {
+  Dummy m("m");
+  auto e1 = std::make_shared<FixedEstimator>("e1", 1.0);
+  auto e2 = std::make_shared<FixedEstimator>("e2", 2.0);
+  m.bindEstimator(1, ParamKind::AvgPower, e1);
+  m.bindEstimator(2, ParamKind::AvgPower, e2);
+  EXPECT_EQ(m.boundEstimator(1, ParamKind::AvgPower)->name(), "e1");
+  EXPECT_EQ(m.boundEstimator(2, ParamKind::AvgPower)->name(), "e2");
+}
+
+class RecordingSink : public EstimationSink {
+ public:
+  void collect(Module& module, ParamKind kind,
+               std::unique_ptr<ParamValue> value) override {
+    lastModule = &module;
+    lastKind = kind;
+    lastValue = std::move(value);
+  }
+  Module* lastModule = nullptr;
+  ParamKind lastKind = ParamKind::Area;
+  std::unique_ptr<ParamValue> lastValue;
+};
+
+TEST(Module, EstimationTokenUsesSetupBinding) {
+  Dummy m("m");
+  m.addEstimator(ParamKind::AvgPower,
+                 std::make_shared<FixedEstimator>("fix", 42.0));
+  SetupController setup;
+  setup.set(ParamKind::AvgPower, {});
+  setup.apply(m);
+
+  Scheduler s;
+  s.setSetup(&setup);
+  RecordingSink sink;
+  s.schedule(std::make_unique<EstimationToken>(m, ParamKind::AvgPower, sink));
+  s.run();
+  ASSERT_NE(sink.lastValue, nullptr);
+  EXPECT_DOUBLE_EQ(sink.lastValue->asDouble(), 42.0);
+}
+
+TEST(Module, EstimationWithoutSetupYieldsNull) {
+  Dummy m("m");
+  m.addEstimator(ParamKind::AvgPower,
+                 std::make_shared<FixedEstimator>("fix", 42.0));
+  Scheduler s;  // no setup installed
+  RecordingSink sink;
+  s.schedule(std::make_unique<EstimationToken>(m, ParamKind::AvgPower, sink));
+  s.run();
+  ASSERT_NE(sink.lastValue, nullptr);
+  EXPECT_TRUE(sink.lastValue->isNull());
+}
+
+}  // namespace
+}  // namespace vcad

@@ -1,0 +1,170 @@
+#include "core/setup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+#include "core/module.hpp"
+
+namespace vcad {
+namespace {
+
+class Dummy : public Module {
+ public:
+  using Module::Module;
+};
+
+class FixedEstimator : public Estimator {
+ public:
+  FixedEstimator(std::string name, double err, double cost, double cpu,
+                 bool remote = false)
+      : Estimator(
+            EstimatorInfo{std::move(name), err, cost, cpu, remote, false}) {}
+  std::unique_ptr<ParamValue> estimate(const EstimationContext&) override {
+    return std::make_unique<ScalarValue>(1.0, "u");
+  }
+};
+
+std::shared_ptr<Estimator> est(std::string name, double err, double cost,
+                               double cpu, bool remote = false) {
+  return std::make_shared<FixedEstimator>(std::move(name), err, cost, cpu,
+                                          remote);
+}
+
+// The three Table-1 estimators of the paper: constant (25% err, free),
+// linear regression (20% err, free), gate-level toggle count (10% err,
+// 0.1 c/pattern, remote, slow).
+void addTable1Estimators(Module& m) {
+  m.addEstimator(ParamKind::AvgPower, est("constant", 25, 0.0, 0.0));
+  m.addEstimator(ParamKind::AvgPower, est("linear-regression", 20, 0.0, 1e-6));
+  m.addEstimator(ParamKind::AvgPower,
+                 est("gate-level-toggle", 10, 0.1, 1e-4, true));
+}
+
+TEST(Setup, UniqueIds) {
+  SetupController a, b;
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Setup, BestAccuracyPicksGateLevel) {
+  Dummy m("mult");
+  addTable1Estimators(m);
+  auto sel = SetupController::select(m, ParamKind::AvgPower,
+                                     {Criterion::BestAccuracy});
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->name(), "gate-level-toggle");
+}
+
+TEST(Setup, LowestCostPicksBestFreeEstimator) {
+  Dummy m("mult");
+  addTable1Estimators(m);
+  auto sel = SetupController::select(m, ParamKind::AvgPower,
+                                     {Criterion::LowestCost});
+  ASSERT_NE(sel, nullptr);
+  // Among the two free estimators, the more accurate one wins.
+  EXPECT_EQ(sel->name(), "linear-regression");
+}
+
+TEST(Setup, FastestCpuPicksConstant) {
+  Dummy m("mult");
+  addTable1Estimators(m);
+  auto sel = SetupController::select(m, ParamKind::AvgPower,
+                                     {Criterion::FastestCpu});
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->name(), "constant");
+}
+
+TEST(Setup, ByNameSelection) {
+  Dummy m("mult");
+  addTable1Estimators(m);
+  EstimatorChoice byName{Criterion::ByName};
+  byName.name = "linear-regression";
+  auto sel = SetupController::select(m, ParamKind::AvgPower, byName);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->name(), "linear-regression");
+}
+
+TEST(Setup, CostConstraintFiltersRemote) {
+  Dummy m("mult");
+  addTable1Estimators(m);
+  EstimatorChoice c{Criterion::BestAccuracy};
+  c.maxCostCents = 0.0;  // free estimators only
+  auto sel = SetupController::select(m, ParamKind::AvgPower, c);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->name(), "linear-regression");
+}
+
+TEST(Setup, RemoteForbiddenFallsBackToLocal) {
+  Dummy m("mult");
+  addTable1Estimators(m);
+  EstimatorChoice c{Criterion::BestAccuracy};
+  c.allowRemote = false;
+  auto sel = SetupController::select(m, ParamKind::AvgPower, c);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->name(), "linear-regression");
+}
+
+TEST(Setup, UnsatisfiableSelectionReturnsNull) {
+  Dummy m("mult");
+  addTable1Estimators(m);
+  EstimatorChoice c{Criterion::BestAccuracy};
+  c.maxErrorPct = 5.0;  // nothing is that accurate
+  EXPECT_EQ(SetupController::select(m, ParamKind::AvgPower, c), nullptr);
+}
+
+TEST(Setup, ApplyBindsHierarchically) {
+  Circuit top("top");
+  auto& a = top.make<Dummy>("a");
+  auto& sub = top.make<Circuit>("sub");
+  auto& b = sub.make<Dummy>("b");
+  addTable1Estimators(a);
+  addTable1Estimators(b);
+
+  SetupController setup;
+  setup.set(ParamKind::AvgPower, {Criterion::BestAccuracy});
+  EXPECT_EQ(setup.apply(top), 0u);
+  EXPECT_EQ(a.boundEstimator(setup.id(), ParamKind::AvgPower)->name(),
+            "gate-level-toggle");
+  EXPECT_EQ(b.boundEstimator(setup.id(), ParamKind::AvgPower)->name(),
+            "gate-level-toggle");
+}
+
+TEST(Setup, ApplyFallsBackToNullWithWarning) {
+  LogSink log;
+  Circuit top("top");
+  auto& a = top.make<Dummy>("a");  // has no estimators at all
+  SetupController setup(&log);
+  setup.set(ParamKind::Area, {Criterion::BestAccuracy});
+  EXPECT_EQ(setup.apply(top), 1u);
+  EXPECT_EQ(a.boundEstimator(setup.id(), ParamKind::Area)->name(), "null");
+  EXPECT_EQ(log.count(Severity::Warning), 1u);
+}
+
+TEST(Setup, PartialEstimationOnlyBindsRequestedParams) {
+  Circuit top("top");
+  auto& a = top.make<Dummy>("a");
+  addTable1Estimators(a);
+  SetupController setup;
+  setup.set(ParamKind::AvgPower, {Criterion::BestAccuracy});
+  setup.apply(top);
+  // Delay was never requested: stays null.
+  EXPECT_EQ(a.boundEstimator(setup.id(), ParamKind::Delay)->name(), "null");
+}
+
+TEST(Setup, TwoSetupsCoexistOnSameDesign) {
+  Circuit top("top");
+  auto& a = top.make<Dummy>("a");
+  addTable1Estimators(a);
+  SetupController accurate, cheap;
+  accurate.set(ParamKind::AvgPower, {Criterion::BestAccuracy});
+  EstimatorChoice c{Criterion::FastestCpu};
+  cheap.set(ParamKind::AvgPower, c);
+  accurate.apply(top);
+  cheap.apply(top);
+  EXPECT_EQ(a.boundEstimator(accurate.id(), ParamKind::AvgPower)->name(),
+            "gate-level-toggle");
+  EXPECT_EQ(a.boundEstimator(cheap.id(), ParamKind::AvgPower)->name(),
+            "constant");
+}
+
+}  // namespace
+}  // namespace vcad

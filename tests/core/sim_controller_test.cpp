@@ -1,0 +1,135 @@
+#include "core/sim_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/wiring.hpp"
+
+namespace vcad {
+namespace {
+
+class FixedEstimator : public Estimator {
+ public:
+  FixedEstimator(std::string name, double value)
+      : Estimator(EstimatorInfo{std::move(name), 10, 0, 0, false, false}),
+        value_(value) {}
+  std::unique_ptr<ParamValue> estimate(const EstimationContext&) override {
+    return std::make_unique<ScalarValue>(value_, "u");
+  }
+
+ private:
+  double value_;
+};
+
+class Doubler : public Module {
+ public:
+  Doubler(std::string name, Connector& in, Connector& out)
+      : Module(std::move(name)) {
+    in_ = &addInput("in", in);
+    out_ = &addOutput("out", out);
+  }
+  void processInputEvent(const SignalToken& t, SimContext& ctx) override {
+    emit(ctx, *out_, Word::fromUint(t.value().width(),
+                                    (t.value().toUint() * 2) &
+                                        ((1ULL << t.value().width()) - 1)));
+  }
+  Port* in_;
+  Port* out_;
+};
+
+TEST(SimController, RunOneInstantProcessesExactlyOneTimestep) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  top.make<Doubler>("d", a, b);
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(8, 3), 5);
+  sim.inject(a, Word::fromUint(8, 4), 9);
+
+  EXPECT_TRUE(sim.runOneInstant());
+  EXPECT_EQ(sim.scheduler().now(), 5u);
+  EXPECT_EQ(b.value(sim.scheduler().id()).toUint(), 6u);
+
+  EXPECT_TRUE(sim.runOneInstant());
+  EXPECT_EQ(sim.scheduler().now(), 9u);
+  EXPECT_EQ(b.value(sim.scheduler().id()).toUint(), 8u);
+
+  EXPECT_FALSE(sim.runOneInstant());  // queue empty
+}
+
+TEST(SimController, StartWithUntilBoundStopsEarly) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  top.make<Doubler>("d", a, b);
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(8, 1), 2);
+  sim.inject(a, Word::fromUint(8, 2), 50);
+  sim.start(10);
+  EXPECT_EQ(b.value(sim.scheduler().id()).toUint(), 2u);
+  sim.start();
+  EXPECT_EQ(b.value(sim.scheduler().id()).toUint(), 4u);
+}
+
+TEST(SimController, EstimateAllCollectsFromEveryLeaf) {
+  Circuit top("top");
+  auto& a = top.makeWord(4);
+  auto& b = top.makeWord(4);
+  auto& c = top.makeWord(4);
+  auto& m1 = top.make<Buffer>("m1", a, b);
+  auto& m2 = top.make<Buffer>("m2", b, c);
+  m1.addEstimator(ParamKind::Area, std::make_shared<FixedEstimator>("a1", 10));
+  m2.addEstimator(ParamKind::Area, std::make_shared<FixedEstimator>("a2", 32));
+
+  SetupController setup;
+  setup.set(ParamKind::Area, EstimatorChoice{Criterion::BestAccuracy});
+  SimulationController sim(top, &setup);
+  CollectingSink sink;
+  sim.estimateAll(ParamKind::Area, sink);
+  EXPECT_EQ(sink.items().size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.sum(ParamKind::Area), 42.0);
+  EXPECT_EQ(sink.nullCount(), 0u);
+  ASSERT_NE(sink.find(m1, ParamKind::Area), nullptr);
+  EXPECT_DOUBLE_EQ(sink.find(m1, ParamKind::Area)->asDouble(), 10.0);
+  EXPECT_EQ(sink.find(m1, ParamKind::Delay), nullptr);
+}
+
+TEST(SimController, EstimateAllWithoutSetupYieldsNulls) {
+  Circuit top("top");
+  auto& a = top.makeWord(4);
+  auto& b = top.makeWord(4);
+  top.make<Buffer>("m", a, b);
+  SimulationController sim(top);
+  CollectingSink sink;
+  sim.estimateAll(ParamKind::AvgPower, sink);
+  EXPECT_EQ(sink.items().size(), 1u);
+  EXPECT_EQ(sink.nullCount(), 1u);
+  EXPECT_DOUBLE_EQ(sink.sum(ParamKind::AvgPower), 0.0);
+}
+
+TEST(SimController, ForceOutputsAndClear) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  auto& d = top.make<Doubler>("d", a, b);
+  SimulationController sim(top);
+  sim.forceOutputs(d, {{d.out_, Word::fromUint(8, 0xEE)}});
+  sim.inject(a, Word::fromUint(8, 1));
+  sim.start();
+  EXPECT_EQ(b.value(sim.scheduler().id()).toUint(), 0xEEu);
+  sim.clearForcedOutputs();
+  sim.inject(a, Word::fromUint(8, 2));
+  sim.start();
+  EXPECT_EQ(b.value(sim.scheduler().id()).toUint(), 4u);
+}
+
+TEST(SimController, InjectIntoUnreadConnectorLatches) {
+  Circuit top("top");
+  auto& floating = top.makeWord(8, "floating");
+  SimulationController sim(top);
+  sim.inject(floating, Word::fromUint(8, 0x77));
+  sim.start();
+  EXPECT_EQ(floating.value(sim.scheduler().id()).toUint(), 0x77u);
+}
+
+}  // namespace
+}  // namespace vcad

@@ -1,0 +1,133 @@
+#include "core/word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcad {
+namespace {
+
+TEST(Word, DefaultIsEmpty) {
+  Word w;
+  EXPECT_EQ(w.width(), 0);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Word, FreshWordIsAllX) {
+  Word w(8);
+  EXPECT_FALSE(w.isFullyKnown());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(w.bit(i), Logic::X);
+}
+
+TEST(Word, FromUintMasksToWidth) {
+  Word w = Word::fromUint(4, 0xFF);
+  EXPECT_EQ(w.toUint(), 0xFu);
+  EXPECT_TRUE(w.isFullyKnown());
+}
+
+TEST(Word, FromUintFullWidth64) {
+  Word w = Word::fromUint(64, ~0ULL);
+  EXPECT_EQ(w.toUint(), ~0ULL);
+}
+
+TEST(Word, SetBitAndReadBack) {
+  Word w(4);
+  w.setBit(0, Logic::L1);
+  w.setBit(1, Logic::L0);
+  w.setBit(2, Logic::Z);
+  w.setBit(3, Logic::X);
+  EXPECT_EQ(w.bit(0), Logic::L1);
+  EXPECT_EQ(w.bit(1), Logic::L0);
+  EXPECT_EQ(w.bit(2), Logic::Z);
+  EXPECT_EQ(w.bit(3), Logic::X);
+  EXPECT_FALSE(w.isFullyKnown());
+}
+
+TEST(Word, ToUintThrowsOnUnknown) {
+  Word w(2);
+  w.setBit(0, Logic::L1);
+  EXPECT_THROW(w.toUint(), std::logic_error);
+}
+
+TEST(Word, StringRoundTrip) {
+  const Word w = Word::fromString("1X0Z");
+  EXPECT_EQ(w.width(), 4);
+  EXPECT_EQ(w.bit(3), Logic::L1);  // MSB first in the string
+  EXPECT_EQ(w.bit(2), Logic::X);
+  EXPECT_EQ(w.bit(1), Logic::L0);
+  EXPECT_EQ(w.bit(0), Logic::Z);
+  EXPECT_EQ(w.toString(), "1X0Z");
+}
+
+TEST(Word, EqualityDistinguishesXAndZ) {
+  Word a(1);
+  Word b(1);
+  a.setBit(0, Logic::X);
+  b.setBit(0, Logic::Z);
+  EXPECT_NE(a, b);
+  b.setBit(0, Logic::X);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Word, ToggleCountKnownBits) {
+  const Word a = Word::fromUint(8, 0b10101010);
+  const Word b = Word::fromUint(8, 0b10100101);
+  EXPECT_EQ(Word::toggleCount(a, b), 4);
+  EXPECT_EQ(Word::toggleCount(a, a), 0);
+}
+
+TEST(Word, ToggleCountUnknownIsPessimistic) {
+  Word a = Word::fromUint(4, 0b1111);
+  Word b = Word::fromUint(4, 0b1111);
+  b.setBit(2, Logic::X);
+  EXPECT_EQ(Word::toggleCount(a, b), 1);
+}
+
+TEST(Word, ToggleCountWidthMismatchThrows) {
+  EXPECT_THROW(Word::toggleCount(Word(3), Word(4)), std::invalid_argument);
+}
+
+TEST(Word, ConcatAndSlice) {
+  const Word hi = Word::fromUint(4, 0xA);
+  const Word lo = Word::fromUint(4, 0x5);
+  const Word cat = Word::concat(hi, lo);
+  EXPECT_EQ(cat.width(), 8);
+  EXPECT_EQ(cat.toUint(), 0xA5u);
+  EXPECT_EQ(cat.slice(0, 4).toUint(), 0x5u);
+  EXPECT_EQ(cat.slice(4, 4).toUint(), 0xAu);
+}
+
+TEST(Word, SliceOutOfRangeThrows) {
+  const Word w = Word::fromUint(8, 1);
+  EXPECT_THROW(w.slice(5, 4), std::out_of_range);
+  EXPECT_THROW(w.slice(-1, 2), std::out_of_range);
+}
+
+TEST(Word, WidthBoundsChecked) {
+  EXPECT_THROW(Word(-1), std::invalid_argument);
+  EXPECT_THROW(Word(65), std::invalid_argument);
+  EXPECT_NO_THROW(Word(64));
+}
+
+TEST(Word, BitIndexBoundsChecked) {
+  Word w(4);
+  EXPECT_THROW(w.bit(4), std::out_of_range);
+  EXPECT_THROW(w.setBit(-1, Logic::L0), std::out_of_range);
+}
+
+class WordUintRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WordUintRoundTrip, AllWidths) {
+  const int width = GetParam();
+  const std::uint64_t v = 0xDEADBEEFCAFEBABEULL;
+  const Word w = Word::fromUint(width, v);
+  const std::uint64_t mask =
+      width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  EXPECT_EQ(w.toUint(), v & mask);
+  EXPECT_EQ(Word::fromString(w.toString()), w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WordUintRoundTrip,
+                         ::testing::Values(1, 2, 7, 8, 15, 16, 31, 32, 33, 48,
+                                           63, 64));
+
+}  // namespace
+}  // namespace vcad

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "estim/power_estimators.hpp"
+#include "gate/generators.hpp"
+
+namespace vcad::estim {
+namespace {
+
+std::vector<Word> randomPatterns(int width, int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Word> out;
+  for (int i = 0; i < count; ++i) out.push_back(Word::fromUint(width, rng.next()));
+  return out;
+}
+
+TEST(PeakPower, AtLeastAveragePower) {
+  auto nl = std::make_shared<const gate::Netlist>(gate::makeArrayMultiplier(6));
+  GateLevelPeakPowerEstimator peak(nl);
+  GateLevelPowerEstimator avg(nl);
+  const auto patterns = randomPatterns(12, 60, 5);
+  EstimationContext ctx;
+  ctx.patternHistory = &patterns;
+  EXPECT_GE(peak.estimate(ctx)->asDouble(), avg.estimate(ctx)->asDouble());
+}
+
+TEST(PeakPower, NullWithoutHistory) {
+  auto nl = std::make_shared<const gate::Netlist>(gate::makeHalfAdder());
+  GateLevelPeakPowerEstimator peak(nl);
+  EstimationContext ctx;
+  EXPECT_TRUE(peak.estimate(ctx)->isNull());
+}
+
+TEST(PeakPower, SingleBurstDominatesQuietStream) {
+  auto nl = std::make_shared<const gate::Netlist>(gate::makeArrayMultiplier(8));
+  GateLevelPeakPowerEstimator peak(nl);
+  GateLevelPowerEstimator avg(nl);
+  // Mostly idle with one all-bits burst: peak stays high, average drops.
+  std::vector<Word> patterns(40, Word::fromUint(16, 0));
+  patterns[20] = Word::fromUint(16, 0xFFFF);
+  EstimationContext ctx;
+  ctx.patternHistory = &patterns;
+  const double p = peak.estimate(ctx)->asDouble();
+  const double a = avg.estimate(ctx)->asDouble();
+  EXPECT_GT(p, 5 * a);
+}
+
+TEST(IoActivity, CountsPortToggles) {
+  IoActivityEstimator est;
+  std::vector<Word> patterns{Word::fromUint(8, 0x00), Word::fromUint(8, 0xFF),
+                             Word::fromUint(8, 0xFF), Word::fromUint(8, 0x0F)};
+  EstimationContext ctx;
+  ctx.patternHistory = &patterns;
+  // Transitions: 8 toggles, 0 toggles, 4 toggles -> average 4.
+  EXPECT_DOUBLE_EQ(est.estimate(ctx)->asDouble(), 4.0);
+  EXPECT_FALSE(est.info().remote);  // needs no implementation knowledge
+}
+
+TEST(IoActivity, NullWithoutHistory) {
+  IoActivityEstimator est;
+  EstimationContext ctx;
+  EXPECT_TRUE(est.estimate(ctx)->isNull());
+}
+
+}  // namespace
+}  // namespace vcad::estim

@@ -1,0 +1,109 @@
+#include "fault/atpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/generators.hpp"
+
+namespace vcad::fault {
+namespace {
+
+double coverageOf(const gate::Netlist& nl, const std::vector<Word>& patterns) {
+  SerialFaultSimulator serial(nl, true);
+  const auto res = serial.run(patterns);
+  return res.coverage();
+}
+
+TEST(Atpg, ReachesTargetCoverageOnAdder) {
+  const gate::Netlist nl = gate::makeRippleCarryAdder(8);
+  AtpgOptions opt;
+  opt.targetCoverage = 0.95;
+  const AtpgResult res = generateTests(nl, opt);
+  EXPECT_GE(res.coverage, 0.95);
+  EXPECT_FALSE(res.patterns.empty());
+  // The reported coverage must match an independent fault simulation.
+  EXPECT_NEAR(coverageOf(nl, res.patterns), res.coverage, 1e-9);
+}
+
+TEST(Atpg, CompactionNeverLosesCoverage) {
+  const gate::Netlist nl = gate::makeArrayMultiplier(5);
+  AtpgOptions opt;
+  opt.targetCoverage = 0.9;
+  const AtpgResult res = generateTests(nl, opt);
+  EXPECT_LE(res.patterns.size(), res.beforeCompaction);
+  EXPECT_GE(res.coverage, 0.9);
+}
+
+TEST(Atpg, CompactTestsDropsRedundantPatterns) {
+  const gate::Netlist nl = gate::makeHalfAdder();
+  const auto collapsed = collapseAll(nl);
+  // Duplicates and weak patterns interleaved with the strong ones.
+  std::vector<Word> patterns{
+      Word::fromUint(2, 0b00), Word::fromUint(2, 0b00), Word::fromUint(2, 0b01),
+      Word::fromUint(2, 0b01), Word::fromUint(2, 0b10), Word::fromUint(2, 0b11),
+  };
+  const auto compact =
+      compactTests(nl, collapsed.representatives, patterns);
+  EXPECT_LT(compact.size(), patterns.size());
+  // Coverage preserved.
+  SerialFaultSimulator full(nl, collapsed.representatives,
+                            symbolicFaultList(nl, collapsed));
+  SerialFaultSimulator reduced(nl, collapsed.representatives,
+                               symbolicFaultList(nl, collapsed));
+  EXPECT_EQ(full.run(patterns).detected, reduced.run(compact).detected);
+}
+
+TEST(Atpg, DeterministicForFixedSeed) {
+  const gate::Netlist nl = gate::makeParityTree(8);
+  const AtpgResult a = generateTests(nl);
+  const AtpgResult b = generateTests(nl);
+  EXPECT_EQ(a.patterns, b.patterns);
+  EXPECT_EQ(a.coverage, b.coverage);
+}
+
+TEST(Atpg, BudgetRespected) {
+  const gate::Netlist nl = gate::makeArrayMultiplier(4);
+  AtpgOptions opt;
+  opt.maxPatterns = 10;
+  opt.targetCoverage = 1.0;
+  const AtpgResult res = generateTests(nl, opt);
+  EXPECT_LE(res.candidatesTried, 10u);
+}
+
+class AtpgSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtpgSweep, RandomCircuitsGetUsefulTests) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 16807);
+  const gate::Netlist nl = gate::makeRandomNetlist(
+      rng, 5 + static_cast<int>(rng.below(5)),
+      20 + static_cast<int>(rng.below(60)), 3);
+  AtpgOptions opt;
+  opt.targetCoverage = 0.85;
+  opt.seed = rng.next();
+  const AtpgResult res = generateTests(nl, opt);
+  // Random logic contains redundant/unobservable faults, so there is no
+  // absolute coverage floor; the meaningful property is that the compact
+  // set achieves what brute-force random testing achieves.
+  std::vector<Word> brute;
+  Rng bruteRng(99);
+  for (int i = 0; i < 500; ++i) {
+    brute.push_back(Word::fromUint(nl.inputCount(), bruteRng.next()));
+  }
+  const double achievable = coverageOf(nl, brute);
+  EXPECT_GE(res.coverage, 0.9 * achievable) << "seed " << GetParam();
+  EXPECT_LE(res.patterns.size(), brute.size());
+  // Compact set is never larger than the fault count.
+  EXPECT_LE(res.patterns.size(), res.faultCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtpgSweep, ::testing::Range(1, 9));
+
+TEST(Atpg, GeneratedTestsDriveVirtualFaultSimulation) {
+  // End-to-end: ATPG-generated (private, user-owned) patterns reach the
+  // same coverage through the virtual protocol as through full disclosure.
+  const gate::Netlist ip1 = gate::makeIp1HalfAdder();
+  const AtpgResult tests = generateTests(ip1, {1.0, 64, 64, 99});
+  EXPECT_GT(tests.coverage, 0.99);
+}
+
+}  // namespace
+}  // namespace vcad::fault

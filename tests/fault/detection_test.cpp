@@ -1,0 +1,124 @@
+#include "fault/detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/generators.hpp"
+
+namespace vcad::fault {
+namespace {
+
+class Ip1Detection : public ::testing::Test {
+ protected:
+  Ip1Detection()
+      : nl_(gate::makeIp1HalfAdder()),
+        eval_(nl_),
+        collapsed_(collapseAll(nl_, /*dominance=*/true, false, false)) {}
+
+  Netlist nl_;
+  gate::NetlistEvaluator eval_;
+  CollapsedFaults collapsed_;
+};
+
+TEST_F(Ip1Detection, TableAtOneZeroMatchesPaperShape) {
+  // The paper's Figure 4(b): for IIP1=1, IIP2=0 the table has two erroneous
+  // rows — outputs (OIP1,OIP2) = 00 caused by sum-path sa0 faults, and 11
+  // caused by the carry-path fault I6sa1.
+  const DetectionTable t =
+      buildDetectionTable(eval_, collapsed_, Word::fromString("01"));
+  EXPECT_EQ(t.faultFreeOutput().toString(), "01");  // OIP2=0, OIP1=1
+  ASSERT_EQ(t.rows().size(), 2u);
+
+  const auto sumRow = t.faultsFor(Word::fromString("00"));
+  ASSERT_FALSE(sumRow.empty());
+  // I3sa0 collapses onto I2sa0 in our structure; its class representative
+  // must cause the 00 error.
+  const int i3sa0Rep =
+      collapsed_.repIndexOf.at({nl_.findNet("I3"), Logic::L0});
+  ASSERT_GE(i3sa0Rep, 0);
+  const std::string i3Symbol = symbolOf(
+      nl_, collapsed_.representatives[static_cast<size_t>(i3sa0Rep)]);
+  EXPECT_NE(std::find(sumRow.begin(), sumRow.end(), i3Symbol), sumRow.end());
+
+  const auto carryRow = t.faultsFor(Word::fromString("11"));
+  ASSERT_EQ(carryRow.size(), 1u);
+  EXPECT_EQ(carryRow[0], "I6sa1");
+}
+
+TEST_F(Ip1Detection, UnexcitedFaultsAbsent) {
+  const DetectionTable t =
+      buildDetectionTable(eval_, collapsed_, Word::fromString("01"));
+  // I6sa0 cannot be excited when the fault-free carry is already 0.
+  EXPECT_EQ(t.faultyOutputFor("I6sa0"), nullptr);
+  // I6sa1 is excited and maps to output 11.
+  const Word* out = t.faultyOutputFor("I6sa1");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->toString(), "11");
+}
+
+TEST_F(Ip1Detection, AllInputConfigurationsProduceConsistentTables) {
+  for (unsigned v = 0; v < 4; ++v) {
+    const Word in = Word::fromUint(2, v);
+    const DetectionTable t = buildDetectionTable(eval_, collapsed_, in);
+    EXPECT_EQ(t.inputs(), in);
+    for (const auto& row : t.rows()) {
+      EXPECT_NE(row.faultyOutput, t.faultFreeOutput());
+      EXPECT_FALSE(row.faults.empty());
+      // Re-simulating each listed fault must reproduce the row's output.
+      for (const std::string& sym : row.faults) {
+        // Find the representative with this symbol.
+        bool found = false;
+        for (const StuckFault& f : collapsed_.representatives) {
+          if (symbolOf(nl_, f) == sym) {
+            EXPECT_EQ(eval_.evalOutputs(in, f), row.faultyOutput);
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << sym;
+      }
+    }
+  }
+}
+
+TEST_F(Ip1Detection, SerializationRoundTrip) {
+  const DetectionTable t =
+      buildDetectionTable(eval_, collapsed_, Word::fromString("01"));
+  net::ByteBuffer buf;
+  t.serialize(buf);
+  const DetectionTable back = DetectionTable::deserialize(buf);
+  EXPECT_EQ(back.inputs(), t.inputs());
+  EXPECT_EQ(back.faultFreeOutput(), t.faultFreeOutput());
+  ASSERT_EQ(back.rows().size(), t.rows().size());
+  for (size_t i = 0; i < t.rows().size(); ++i) {
+    EXPECT_EQ(back.rows()[i].faultyOutput, t.rows()[i].faultyOutput);
+    EXPECT_EQ(back.rows()[i].faults, t.rows()[i].faults);
+  }
+}
+
+TEST_F(Ip1Detection, IsAParamValue) {
+  const DetectionTable t =
+      buildDetectionTable(eval_, collapsed_, Word::fromString("01"));
+  const ParamValue& v = t;  // DetectionTable is a parameter value
+  EXPECT_FALSE(v.isNull());
+  EXPECT_NE(v.toString().find("DetectionTable"), std::string::npos);
+  EXPECT_THROW(v.asDouble(), std::logic_error);
+}
+
+TEST(DetectionTable, ExcitedFaultCountOnMultiplier) {
+  const Netlist nl = gate::makeArrayMultiplier(3);
+  gate::NetlistEvaluator eval(nl);
+  const auto collapsed = collapseAll(nl, true, false, false);
+  const DetectionTable t =
+      buildDetectionTable(eval, collapsed, Word::fromUint(6, 0b101011));
+  EXPECT_GT(t.excitedFaultCount(), 0u);
+  EXPECT_LE(t.excitedFaultCount(), collapsed.size());
+  // Row outputs are unique.
+  for (size_t i = 0; i < t.rows().size(); ++i) {
+    for (size_t j = i + 1; j < t.rows().size(); ++j) {
+      EXPECT_NE(t.rows()[i].faultyOutput, t.rows()[j].faultyOutput);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcad::fault

@@ -1,0 +1,157 @@
+#include "fault/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/generators.hpp"
+
+namespace vcad::fault {
+namespace {
+
+using gate::GateType;
+
+TEST(FaultModel, SymbolNaming) {
+  Netlist nl;
+  const NetId a = nl.addInput("alpha");
+  EXPECT_EQ(symbolOf(nl, {a, Logic::L0}), "alphasa0");
+  EXPECT_EQ(symbolOf(nl, {a, Logic::L1}), "alphasa1");
+}
+
+TEST(FaultModel, EnumerateTwoPerNet) {
+  const Netlist nl = gate::makeHalfAdder();  // 2 PIs + 2 gate nets
+  EXPECT_EQ(enumerateFaults(nl).size(), 8u);
+  EXPECT_EQ(enumerateFaults(nl, false, true).size(), 4u);
+  EXPECT_EQ(enumerateFaults(nl, false, false).size(), 0u);
+}
+
+TEST(FaultModel, InverterChainCollapsesToOneClassPerPolarity) {
+  // a -> NOT -> NOT -> NOT -> out: all faults collapse into exactly two
+  // classes (one per polarity at the chain head).
+  Netlist nl;
+  NetId cur = nl.addInput("a");
+  for (int i = 0; i < 3; ++i) cur = nl.addGate(GateType::Not, {cur});
+  nl.markOutput(cur);
+  const auto c = collapseEquivalent(nl, enumerateFaults(nl));
+  EXPECT_EQ(c.size(), 2u);
+  // Both representatives sit on the primary input (level 0).
+  for (const StuckFault& f : c.representatives) {
+    EXPECT_TRUE(nl.isPrimaryInput(f.net));
+  }
+}
+
+TEST(FaultModel, AndGateEquivalence) {
+  // AND(a, b) -> o: a-sa0 == b-sa0 == o-sa0 (one class of 3); other faults
+  // stay separate. 6 faults -> 4 classes.
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId o = nl.addGate(GateType::And, {a, b}, "o");
+  nl.markOutput(o);
+  const auto c = collapseEquivalent(nl, enumerateFaults(nl));
+  EXPECT_EQ(c.size(), 4u);
+  const int repA0 = c.repIndexOf.at({a, Logic::L0});
+  EXPECT_EQ(repA0, c.repIndexOf.at({b, Logic::L0}));
+  EXPECT_EQ(repA0, c.repIndexOf.at({o, Logic::L0}));
+  EXPECT_EQ(c.classes[static_cast<size_t>(repA0)].size(), 3u);
+}
+
+TEST(FaultModel, XorGateHasNoEquivalences) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.markOutput(nl.addGate(GateType::Xor, {a, b}));
+  const auto c = collapseEquivalent(nl, enumerateFaults(nl));
+  EXPECT_EQ(c.size(), 6u);
+}
+
+TEST(FaultModel, FanoutBlocksEquivalence) {
+  // a feeds two gates: a-sa0 is NOT equivalent to either gate output fault.
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId x = nl.addGate(GateType::And, {a, b}, "x");
+  const NetId y = nl.addGate(GateType::Or, {a, b}, "y");
+  nl.markOutput(x);
+  nl.markOutput(y);
+  const auto c = collapseEquivalent(nl, enumerateFaults(nl));
+  EXPECT_NE(c.repIndexOf.at({a, Logic::L0}), c.repIndexOf.at({x, Logic::L0}));
+  // b also fans out to both gates, so nothing collapses at all.
+  EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(FaultModel, DominanceDropsOrOutputSa0) {
+  // OR(x, y) where x, y are internal (driven by buffers off distinct PIs so
+  // fanout rules keep the input faults alive).
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId x = nl.addGate(GateType::Buf, {a}, "x");
+  const NetId y = nl.addGate(GateType::Buf, {b}, "y");
+  const NetId o = nl.addGate(GateType::Or, {x, y}, "o");
+  nl.markOutput(nl.addGate(GateType::Buf, {o}, "po"));  // keep o internal
+  const auto universe = enumerateFaults(nl, false, false);  // internal only
+  const auto eq = collapseEquivalent(nl, universe);
+  const auto dom = collapseDominance(nl, eq);
+  EXPECT_LT(dom.size(), eq.size());
+  // o-sa0 must be gone; the input sa0 faults remain.
+  EXPECT_EQ(dom.repIndexOf.at({o, Logic::L0}), -1);
+  EXPECT_GE(dom.repIndexOf.at({x, Logic::L0}), 0);
+  EXPECT_GE(dom.repIndexOf.at({y, Logic::L0}), 0);
+}
+
+TEST(FaultModel, CollapsedCountsOnMultiplier) {
+  const Netlist nl = gate::makeArrayMultiplier(4);
+  const auto universe = enumerateFaults(nl);
+  const auto eq = collapseEquivalent(nl, universe);
+  const auto dom = collapseDominance(nl, eq);
+  EXPECT_LT(eq.size(), universe.size());
+  EXPECT_LE(dom.size(), eq.size());
+  // Every universe fault maps either to a surviving representative or to
+  // dominance removal.
+  for (const StuckFault& f : universe) {
+    ASSERT_TRUE(dom.repIndexOf.count(f));
+    const int r = dom.repIndexOf.at(f);
+    EXPECT_GE(r, -1);
+    EXPECT_LT(r, static_cast<int>(dom.size()));
+  }
+}
+
+TEST(FaultModel, RepresentativesAreDeterministic) {
+  const Netlist nl = gate::makeArrayMultiplier(3);
+  const auto c1 = collapseAll(nl);
+  const auto c2 = collapseAll(nl);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1.representatives[i], c2.representatives[i]);
+  }
+}
+
+TEST(FaultModel, Ip1SymbolicFaultListHidesNothingButNames) {
+  const Netlist ip1 = gate::makeIp1HalfAdder();
+  const auto c = collapseAll(ip1, /*dominance=*/true, false, false);
+  const auto symbols = symbolicFaultList(ip1, c);
+  EXPECT_FALSE(symbols.empty());
+  // All published faults sit on internal I* signals, never on ports.
+  for (const std::string& s : symbols) {
+    EXPECT_EQ(s[0], 'I') << s;
+    EXPECT_EQ(s.substr(s.size() - 3, 2), "sa") << s;
+  }
+}
+
+TEST(FaultModel, Ip1EquivalenceMatchesHandAnalysis) {
+  // From the structure in generators.hpp: I2sa0 == I3sa0 (I2 only feeds the
+  // AND producing I3), and I3sa1 == I4sa1 == I5sa1 (both ANDs feed the OR).
+  const Netlist ip1 = gate::makeIp1HalfAdder();
+  const auto c = collapseEquivalent(ip1, enumerateFaults(ip1, false, false));
+  auto net = [&](const char* n) { return ip1.findNet(n); };
+  EXPECT_EQ(c.repIndexOf.at({net("I2"), Logic::L0}),
+            c.repIndexOf.at({net("I3"), Logic::L0}));
+  EXPECT_EQ(c.repIndexOf.at({net("I3"), Logic::L1}),
+            c.repIndexOf.at({net("I5"), Logic::L1}));
+  EXPECT_EQ(c.repIndexOf.at({net("I4"), Logic::L1}),
+            c.repIndexOf.at({net("I5"), Logic::L1}));
+  EXPECT_EQ(c.repIndexOf.at({net("I1"), Logic::L0}),
+            c.repIndexOf.at({net("I4"), Logic::L0}));
+}
+
+}  // namespace
+}  // namespace vcad::fault

@@ -1,0 +1,96 @@
+#include "fault/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/block_design.hpp"
+#include "fault/seq_fault.hpp"
+#include "gate/generators.hpp"
+
+namespace vcad::fault {
+namespace {
+
+CampaignResult smallCampaign() {
+  BlockDesign d;
+  const int a = d.addPrimaryInput("A");
+  const int b = d.addPrimaryInput("B");
+  const int ip1 = d.addBlock(
+      "IP1", std::make_shared<const gate::Netlist>(gate::makeIp1HalfAdder()));
+  d.connect({-1, a}, ip1, 0);
+  d.connect({-1, b}, ip1, 1);
+  d.markPrimaryOutput(ip1, 0, "S");
+  d.markPrimaryOutput(ip1, 1, "C");
+  auto inst = d.instantiate();
+  LocalFaultBlock client(*inst.blockModules[0]);
+  VirtualFaultSimulator sim(*inst.circuit, {&client}, inst.piConns,
+                            inst.poConns);
+  std::vector<Word> pats;
+  for (unsigned v = 0; v < 4; ++v) pats.push_back(Word::fromUint(2, v));
+  return sim.runPacked(pats);
+}
+
+TEST(Report, MarkdownContainsAllSections) {
+  const CampaignResult res = smallCampaign();
+  std::ostringstream os;
+  writeMarkdownReport(os, res, "IP1 sign-off");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# IP1 sign-off"), std::string::npos);
+  EXPECT_NE(text.find("faults (collapsed): " +
+                      std::to_string(res.faultList.size())),
+            std::string::npos);
+  EXPECT_NE(text.find("## Coverage curve"), std::string::npos);
+  EXPECT_NE(text.find("cache hits"), std::string::npos);
+  EXPECT_NE(text.find("## Undetected faults"), std::string::npos);
+  // Exhaustive patterns on the exposed half adder detect everything.
+  EXPECT_NE(text.find("(none)"), std::string::npos);
+}
+
+TEST(Report, CsvHasOneRowPerPattern) {
+  const CampaignResult res = smallCampaign();
+  std::ostringstream os;
+  writeCoverageCsv(os, res);
+  const std::string text = os.str();
+  // Header + 4 patterns.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+  EXPECT_NE(text.find("pattern_index,detected,total,coverage_pct"),
+            std::string::npos);
+}
+
+TEST(Report, SequentialReportIncludesLatency) {
+  const gate::SeqNetlist machine = gate::makeCounter(3);
+  LocalSeqFaultBlock block(machine);
+  const auto res = runSeqCampaign(
+      block, std::vector<Word>(15, Word::fromUint(1, 1)));
+  std::ostringstream os;
+  writeMarkdownReport(os, res, "counter3");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# counter3"), std::string::npos);
+  EXPECT_NE(text.find("shadow-machine steps"), std::string::npos);
+  EXPECT_NE(text.find("detection latency"), std::string::npos);
+}
+
+TEST(Report, UndetectedFaultsListed) {
+  // One useless pattern leaves faults undetected; they must be named.
+  BlockDesign d;
+  const int a = d.addPrimaryInput("A");
+  const int b = d.addPrimaryInput("B");
+  const int ip1 = d.addBlock(
+      "IP1", std::make_shared<const gate::Netlist>(gate::makeIp1HalfAdder()));
+  d.connect({-1, a}, ip1, 0);
+  d.connect({-1, b}, ip1, 1);
+  d.markPrimaryOutput(ip1, 0, "S");
+  d.markPrimaryOutput(ip1, 1, "C");
+  auto inst = d.instantiate();
+  LocalFaultBlock client(*inst.blockModules[0]);
+  VirtualFaultSimulator sim(*inst.circuit, {&client}, inst.piConns,
+                            inst.poConns);
+  const auto res = sim.runPacked({Word::fromUint(2, 0)});
+  ASSERT_LT(res.detected.size(), res.faultList.size());
+  std::ostringstream os;
+  writeMarkdownReport(os, res);
+  EXPECT_NE(os.str().find("- `IP1/"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcad::fault

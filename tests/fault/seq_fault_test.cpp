@@ -1,0 +1,219 @@
+// Sequential virtual fault simulation: local machine vs. the remote
+// shadow-machine protocol must agree exactly, and the campaign semantics
+// (detection latency, fault dropping) must hold.
+#include "fault/seq_fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/generators.hpp"
+#include "ip/remote_component.hpp"
+
+namespace vcad::fault {
+namespace {
+
+std::vector<Word> enableSequence(int cycles) {
+  return std::vector<Word>(static_cast<size_t>(cycles), Word::fromUint(1, 1));
+}
+
+std::vector<Word> randomSequence(int width, int cycles, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Word> out;
+  for (int i = 0; i < cycles; ++i) out.push_back(Word::fromUint(width, rng.next()));
+  return out;
+}
+
+TEST(SeqFault, CounterCampaignDetectsMostFaults) {
+  const gate::SeqNetlist c = gate::makeCounter(4);
+  LocalSeqFaultBlock block(c);
+  const auto res = runSeqCampaign(block, enableSequence(20));
+  EXPECT_GT(res.faultList.size(), 0u);
+  EXPECT_GT(res.coverage(), 0.6);
+  EXPECT_EQ(res.goodSteps, 20u);
+}
+
+TEST(SeqFault, FaultDroppingBoundsShadowSteps) {
+  const gate::SeqNetlist c = gate::makeCounter(4);
+  LocalSeqFaultBlock block(c);
+  const auto res = runSeqCampaign(block, enableSequence(30));
+  // Without dropping, faultySteps would be |faults| * 30; with dropping it
+  // must be strictly less whenever anything was detected early.
+  ASSERT_GT(res.detectedCount(), 0u);
+  EXPECT_LT(res.faultySteps, res.faultList.size() * 30);
+}
+
+TEST(SeqFault, DetectionLatencyRecorded) {
+  const gate::SeqNetlist c = gate::makeCounter(4);
+  LocalSeqFaultBlock block(c);
+  const auto res = runSeqCampaign(block, enableSequence(25));
+  // Some faults need the counter to reach particular states: not all are
+  // detected in cycle 0.
+  bool anyLate = false;
+  for (const auto& [sym, cycle] : res.detectedAtCycle) {
+    EXPECT_LT(cycle, 25u);
+    if (cycle > 0) anyLate = true;
+  }
+  EXPECT_TRUE(anyLate);
+}
+
+TEST(SeqFault, LongerSequencesNeverLoseCoverage) {
+  const gate::SeqNetlist l = gate::makeLfsr(5, 0b10100);
+  LocalSeqFaultBlock shortBlock(l), longBlock(l);
+  const auto seq40 = randomSequence(1, 40, 3);
+  auto seq10 = std::vector<Word>(seq40.begin(), seq40.begin() + 10);
+  const auto shortRes = runSeqCampaign(shortBlock, seq10);
+  const auto longRes = runSeqCampaign(longBlock, seq40);
+  EXPECT_GE(longRes.detectedCount(), shortRes.detectedCount());
+  // Everything caught early is still caught (prefix property).
+  for (const auto& [sym, cycle] : shortRes.detectedAtCycle) {
+    ASSERT_TRUE(longRes.detectedAtCycle.count(sym)) << sym;
+    EXPECT_EQ(longRes.detectedAtCycle.at(sym), cycle) << sym;
+  }
+}
+
+TEST(SeqFault, UnknownSymbolRejected) {
+  const gate::SeqNetlist c = gate::makeCounter(2);
+  LocalSeqFaultBlock block(c);
+  EXPECT_THROW(block.stepFaulty("nonsense", Word::fromUint(1, 1)),
+               std::invalid_argument);
+}
+
+// --- remote protocol ------------------------------------------------------
+
+struct RemoteRig {
+  LogSink log;
+  ip::ProviderServer server{"seq.provider", &log};
+  rmi::RmiChannel channel{server, net::NetworkProfile::ideal(), &log};
+
+  explicit RemoteRig(int width) {
+    ip::IpComponentSpec spec;
+    spec.name = "CounterIp";
+    spec.minWidth = 1;
+    spec.maxWidth = 16;
+    spec.testability = ip::ModelLevel::Dynamic;
+    spec.fees.perEvalCents = 0.01;
+    server.registerSequentialComponent(spec, [](std::uint64_t w) {
+      return gate::makeCounter(static_cast<int>(w));
+    });
+    (void)width;
+  }
+};
+
+TEST(SeqFault, RemoteMatchesLocalExactly) {
+  const int width = 4;
+  RemoteRig rig(width);
+  ip::ProviderHandle provider(rig.channel);
+  ip::RemoteSeqFaultClient remote(provider, "CounterIp", width);
+
+  const gate::SeqNetlist c = gate::makeCounter(width);
+  LocalSeqFaultBlock local(c);
+
+  EXPECT_EQ(remote.faultList(), local.faultList());
+
+  const auto seq = enableSequence(18);
+  const auto remoteRes = runSeqCampaign(remote, seq);
+  const auto localRes = runSeqCampaign(local, seq);
+  EXPECT_EQ(remoteRes.detectedAtCycle, localRes.detectedAtCycle);
+  EXPECT_EQ(remoteRes.faultySteps, localRes.faultySteps);
+}
+
+TEST(SeqFault, RemoteChargesPerStep) {
+  RemoteRig rig(3);
+  ip::ProviderHandle provider(rig.channel);
+  ip::RemoteSeqFaultClient remote(provider, "CounterIp", 3);
+  const auto res = runSeqCampaign(remote, enableSequence(10));
+  const double fees = rig.server.sessionFeesCents(provider.session());
+  EXPECT_NEAR(fees, 0.01 * static_cast<double>(res.goodSteps + res.faultySteps),
+              1e-9);
+}
+
+TEST(SeqFault, ServerCountsShadowSteps) {
+  const gate::SeqNetlist machine = gate::makeCounter(3);
+  ip::SeqPrivateComponent server(machine);
+  EXPECT_EQ(server.stepCount(), 0u);
+  server.reset("");
+  server.step("", Word::fromUint(1, 1));
+  const auto symbol = server.faultList().front();
+  server.reset(symbol);
+  server.step(symbol, Word::fromUint(1, 1));
+  server.step(symbol, Word::fromUint(1, 1));
+  EXPECT_EQ(server.stepCount(), 3u);
+  EXPECT_EQ(server.inputBits(), 1);
+  EXPECT_EQ(server.outputBits(), 3);
+}
+
+TEST(SeqFault, SequentialMethodsRejectedOnCombinationalInstance) {
+  LogSink log;
+  ip::ProviderServer server("p", &log);
+  ip::IpComponentSpec spec;
+  spec.name = "Comb";
+  spec.minWidth = 2;
+  spec.maxWidth = 8;
+  spec.testability = ip::ModelLevel::Dynamic;
+  server.registerComponent(
+      spec,
+      [](std::uint64_t w) {
+        return std::make_shared<const gate::Netlist>(
+            gate::makeRippleCarryAdder(static_cast<int>(w)));
+      },
+      nullptr);
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
+  ip::ProviderHandle provider(channel);
+  rmi::Args args;
+  args.addU64(4);
+  auto resp = provider.call(rmi::MethodId::Instantiate, 0, std::move(args),
+                            "Comb");
+  const auto id = resp.payload.readU64();
+  rmi::Args step;
+  step.addString("");
+  step.addWord(Word::fromUint(8, 0));
+  EXPECT_EQ(provider.call(rmi::MethodId::SeqStep, id, std::move(step)).status,
+            rmi::Status::Error);
+}
+
+TEST(SeqFault, CombinationalMethodsRejectedOnSequentialInstance) {
+  RemoteRig rig(3);
+  ip::ProviderHandle provider(rig.channel);
+  ip::RemoteSeqFaultClient remote(provider, "CounterIp", 3);
+  rmi::Args ev;
+  ev.addWord(Word::fromUint(4, 0));
+  EXPECT_EQ(provider
+                .call(rmi::MethodId::EvalFunction, remote.instanceId(),
+                      std::move(ev))
+                .status,
+            rmi::Status::Error);
+}
+
+class SeqRandomMachines : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeqRandomMachines, RemoteEqualsLocalOnRandomMachines) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  const int stateBits = 3 + static_cast<int>(rng.below(3));
+  const int inputBits = 2 + static_cast<int>(rng.below(2));
+  const gate::SeqNetlist machine =
+      gate::makeRandomMachine(rng, stateBits, inputBits, 2, 30);
+
+  LogSink log;
+  ip::ProviderServer server("p", &log);
+  ip::IpComponentSpec spec;
+  spec.name = "M";
+  spec.minWidth = 1;
+  spec.maxWidth = 1;
+  spec.testability = ip::ModelLevel::Dynamic;
+  server.registerSequentialComponent(
+      spec, [&machine](std::uint64_t) { return machine; });
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
+  ip::ProviderHandle provider(channel);
+  ip::RemoteSeqFaultClient remote(provider, "M", 1);
+  LocalSeqFaultBlock local(machine);
+
+  const auto seq = randomSequence(inputBits, 25,
+                                  static_cast<std::uint64_t>(GetParam()));
+  const auto remoteRes = runSeqCampaign(remote, seq);
+  const auto localRes = runSeqCampaign(local, seq);
+  EXPECT_EQ(remoteRes.detectedAtCycle, localRes.detectedAtCycle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqRandomMachines, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace vcad::fault

@@ -1,0 +1,119 @@
+#include "gate/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "gate/generators.hpp"
+
+namespace vcad::gate {
+namespace {
+
+TEST(Incremental, MatchesFullEvaluationOnAdder) {
+  const Netlist nl = makeRippleCarryAdder(8);
+  NetlistEvaluator full(nl);
+  IncrementalEvaluator inc(nl);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Word in = Word::fromUint(16, rng.next());
+    inc.setInputs(in);
+    EXPECT_EQ(inc.outputs(), full.evalOutputs(in)) << i;
+  }
+}
+
+TEST(Incremental, SingleBitChangeEvaluatesFewGates) {
+  const Netlist nl = makeArrayMultiplier(8);  // ~1500 gates
+  IncrementalEvaluator inc(nl);
+  inc.setInputs(Word::fromUint(16, 0x0000));
+  // Toggling one bit of an operand that is all-zero touches only the
+  // partial products of that bit (the other operand gates stay 0).
+  const std::size_t touched = inc.setInput(0, Logic::L1);
+  EXPECT_GT(touched, 0u);
+  EXPECT_LT(touched, static_cast<std::size_t>(nl.gateCount()) / 4);
+}
+
+TEST(Incremental, NoChangeNoWork) {
+  const Netlist nl = makeRippleCarryAdder(4);
+  IncrementalEvaluator inc(nl);
+  inc.setInputs(Word::fromUint(8, 0x5A));
+  EXPECT_EQ(inc.setInputs(Word::fromUint(8, 0x5A)), 0u);
+  EXPECT_EQ(inc.setInput(0, Logic::L0), 0u);  // already 0
+}
+
+TEST(Incremental, ResetRestoresAllX) {
+  const Netlist nl = makeHalfAdder();
+  IncrementalEvaluator inc(nl);
+  inc.setInputs(Word::fromUint(2, 0b11));
+  EXPECT_EQ(inc.outputs().toString(), "10");
+  inc.reset();
+  EXPECT_FALSE(inc.outputs().isFullyKnown());
+}
+
+TEST(Incremental, ConstCellsSettleAtConstruction) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId one = nl.addGate(GateType::Const1, {}, "one");
+  nl.markOutput(nl.addGate(GateType::And, {a, one}, "o"));
+  IncrementalEvaluator inc(nl);
+  EXPECT_EQ(inc.value(one), Logic::L1);
+  inc.setInput(0, Logic::L1);
+  EXPECT_EQ(inc.outputs().bit(0), Logic::L1);
+}
+
+TEST(Incremental, BadArgumentsRejected) {
+  const Netlist nl = makeHalfAdder();
+  IncrementalEvaluator inc(nl);
+  EXPECT_THROW(inc.setInput(5, Logic::L0), std::out_of_range);
+  EXPECT_THROW(inc.setInputs(Word::fromUint(3, 0)), std::invalid_argument);
+}
+
+class IncrementalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalProperty, RandomNetlistsMatchFullEvaluation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271);
+  const int nIn = 4 + static_cast<int>(rng.below(8));
+  const Netlist nl =
+      makeRandomNetlist(rng, nIn, 20 + static_cast<int>(rng.below(80)),
+                        2 + static_cast<int>(rng.below(3)));
+  NetlistEvaluator full(nl);
+  IncrementalEvaluator inc(nl);
+  Word current(nIn);
+  for (int step = 0; step < 60; ++step) {
+    if (rng.chance(0.3)) {
+      // Full random word.
+      current = Word::fromUint(nIn, rng.next());
+      inc.setInputs(current);
+    } else {
+      // Single-bit twiddle (the selective-trace fast path).
+      const int bit = static_cast<int>(rng.below(static_cast<std::uint64_t>(nIn)));
+      const Logic v = rng.chance(0.5) ? Logic::L1 : Logic::L0;
+      current.setBit(bit, v);
+      inc.setInput(bit, v);
+    }
+    EXPECT_EQ(inc.outputs(), full.evalOutputs(current))
+        << "seed=" << GetParam() << " step=" << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty, ::testing::Range(1, 13));
+
+TEST(Incremental, SelectiveTraceBeatsFullEvaluationOnWorkCount) {
+  // Random single-bit changes on a big multiplier: selective trace must
+  // evaluate far fewer gates than #gates x #changes.
+  const Netlist nl = makeArrayMultiplier(12);
+  IncrementalEvaluator inc(nl);
+  Rng rng(5);
+  inc.setInputs(Word::fromUint(24, rng.next()));
+  const std::uint64_t before = inc.gateEvals();
+  const int changes = 200;
+  for (int i = 0; i < changes; ++i) {
+    inc.setInput(static_cast<int>(rng.below(24)),
+                 rng.chance(0.5) ? Logic::L1 : Logic::L0);
+  }
+  const std::uint64_t work = inc.gateEvals() - before;
+  const std::uint64_t fullWork =
+      static_cast<std::uint64_t>(nl.gateCount()) * changes;
+  EXPECT_LT(work, fullWork / 2);
+}
+
+}  // namespace
+}  // namespace vcad::gate

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "gate/generators.hpp"
+#include "ip/remote_component.hpp"
+
+namespace vcad::ip {
+namespace {
+
+TEST(Invoice, ItemizesPerMethodCharges) {
+  LogSink log;
+  ProviderServer server("p", &log);
+  IpComponentSpec spec;
+  spec.name = "MULT";
+  spec.minWidth = 2;
+  spec.maxWidth = 16;
+  spec.power = ModelLevel::Dynamic;
+  spec.testability = ModelLevel::Dynamic;
+  spec.fees.instantiateCents = 5.0;
+  spec.fees.perEvalCents = 0.01;
+  spec.fees.perPowerPatternCents = 0.1;
+  spec.fees.perDetectionTableCents = 0.05;
+  server.registerComponent(
+      spec,
+      [](std::uint64_t w) {
+        return std::make_shared<const gate::Netlist>(
+            gate::makeArrayMultiplier(static_cast<int>(w)));
+      },
+      nullptr);
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal(), &log);
+  ProviderHandle provider(channel);
+
+  rmi::Args args;
+  args.addU64(4);
+  auto resp =
+      provider.call(rmi::MethodId::Instantiate, 0, std::move(args), "MULT");
+  const auto id = resp.payload.readU64();
+
+  for (int i = 0; i < 3; ++i) {
+    rmi::Args ev;
+    ev.addWord(Word::fromUint(8, static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(provider.call(rmi::MethodId::EvalFunction, id, std::move(ev)).ok());
+  }
+  rmi::Args pw;
+  pw.addWordVector({Word::fromUint(8, 1), Word::fromUint(8, 2)});
+  ASSERT_TRUE(provider.call(rmi::MethodId::EstimatePower, id, std::move(pw)).ok());
+  rmi::Args dt;
+  dt.addWord(Word::fromUint(8, 0x2B));
+  ASSERT_TRUE(
+      provider.call(rmi::MethodId::GetDetectionTable, id, std::move(dt)).ok());
+
+  const auto inv = server.invoice(provider.session());
+  EXPECT_EQ(inv.session, provider.session());
+  double expected = 0.0;
+  std::uint64_t evalCalls = 0;
+  for (const auto& item : inv.items) {
+    expected += item.cents;
+    if (item.method == rmi::MethodId::EvalFunction) evalCalls = item.calls;
+  }
+  EXPECT_EQ(evalCalls, 3u);
+  EXPECT_DOUBLE_EQ(inv.totalCents, expected);
+  EXPECT_DOUBLE_EQ(inv.totalCents, 5.0 + 3 * 0.01 + 2 * 0.1 + 0.05);
+  EXPECT_DOUBLE_EQ(inv.totalCents,
+                   server.sessionFeesCents(provider.session()));
+
+  const std::string text = inv.render();
+  EXPECT_NE(text.find("Instantiate"), std::string::npos);
+  EXPECT_NE(text.find("EvalFunction"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(Invoice, UnknownSessionIsEmpty) {
+  ProviderServer server("p");
+  const auto inv = server.invoice(4242);
+  EXPECT_TRUE(inv.items.empty());
+  EXPECT_DOUBLE_EQ(inv.totalCents, 0.0);
+}
+
+TEST(Invoice, SessionsBilledIndependently) {
+  LogSink log;
+  ProviderServer server("p", &log);
+  IpComponentSpec spec;
+  spec.name = "A";
+  spec.minWidth = 2;
+  spec.maxWidth = 8;
+  spec.fees.instantiateCents = 1.0;
+  server.registerComponent(
+      spec,
+      [](std::uint64_t w) {
+        return std::make_shared<const gate::Netlist>(
+            gate::makeRippleCarryAdder(static_cast<int>(w)));
+      },
+      nullptr);
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
+  ProviderHandle alice(channel), bob(channel);
+  for (auto* h : {&alice, &bob}) {
+    rmi::Args args;
+    args.addU64(4);
+    ASSERT_TRUE(
+        h->call(rmi::MethodId::Instantiate, 0, std::move(args), "A").ok());
+  }
+  rmi::Args args;
+  args.addU64(4);
+  ASSERT_TRUE(
+      alice.call(rmi::MethodId::Instantiate, 0, std::move(args), "A").ok());
+  EXPECT_DOUBLE_EQ(server.invoice(alice.session()).totalCents, 2.0);
+  EXPECT_DOUBLE_EQ(server.invoice(bob.session()).totalCents, 1.0);
+}
+
+}  // namespace
+}  // namespace vcad::ip

@@ -1,0 +1,118 @@
+#include "ip/negotiation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/generators.hpp"
+#include "ip/remote_component.hpp"
+
+namespace vcad::ip {
+namespace {
+
+IpComponentSpec fullSpec() {
+  IpComponentSpec spec;
+  spec.name = "MULT";
+  spec.minWidth = 2;
+  spec.maxWidth = 16;
+  spec.power = ModelLevel::Dynamic;
+  spec.timing = ModelLevel::Dynamic;
+  spec.area = ModelLevel::Static;
+  spec.hasLinearPowerModel = true;
+  spec.fees.perPowerPatternCents = 0.1;
+  spec.fees.perTimingQueryCents = 0.02;
+  return spec;
+}
+
+TEST(Negotiation, OffersFollowModelLevels) {
+  const auto spec = fullSpec();
+  EXPECT_EQ(offersOf(spec, ParamKind::AvgPower).size(), 3u);
+  EXPECT_EQ(offersOf(spec, ParamKind::Delay).size(), 2u);
+  EXPECT_EQ(offersOf(spec, ParamKind::Area).size(), 1u);  // static only
+  EXPECT_TRUE(offersOf(spec, ParamKind::Testability).empty());
+
+  IpComponentSpec bare;
+  bare.power = ModelLevel::None;
+  EXPECT_TRUE(offersOf(bare, ParamKind::AvgPower).empty());
+}
+
+TEST(Negotiation, GenerousBudgetGetsBestAccuracy) {
+  const auto res = resolveNegotiation(fullSpec(), ParamKind::AvgPower,
+                                      /*maxCost=*/10.0, /*maxError=*/100.0);
+  EXPECT_EQ(res.outcome, NegotiationResult::Outcome::Accepted);
+  EXPECT_EQ(res.offer.name, "gate-level-toggle");
+}
+
+TEST(Negotiation, ZeroBudgetGetsBestFreeEstimator) {
+  const auto res = resolveNegotiation(fullSpec(), ParamKind::AvgPower, 0.0,
+                                      100.0);
+  EXPECT_EQ(res.outcome, NegotiationResult::Outcome::Accepted);
+  EXPECT_EQ(res.offer.name, "linear-regression");
+}
+
+TEST(Negotiation, TightAccuracyWithZeroBudgetYieldsCounterOffer) {
+  // 15% accuracy requires the gate-level model, which costs money.
+  const auto res = resolveNegotiation(fullSpec(), ParamKind::AvgPower, 0.0,
+                                      15.0);
+  EXPECT_EQ(res.outcome, NegotiationResult::Outcome::CounterOffer);
+  EXPECT_EQ(res.offer.name, "gate-level-toggle");
+  EXPECT_GT(res.offer.costPerUseCents, 0.0);
+}
+
+TEST(Negotiation, ImpossibleAccuracyIsUnavailable) {
+  const auto res = resolveNegotiation(fullSpec(), ParamKind::AvgPower, 100.0,
+                                      1.0);
+  EXPECT_EQ(res.outcome, NegotiationResult::Outcome::Unavailable);
+}
+
+TEST(Negotiation, OfferSerializationRoundTrip) {
+  EstimatorOffer o{"gate-level-toggle", 10.0, 0.1, true};
+  net::ByteBuffer buf;
+  o.serialize(buf);
+  const auto back = EstimatorOffer::deserialize(buf);
+  EXPECT_EQ(back.name, o.name);
+  EXPECT_DOUBLE_EQ(back.errorPct, o.errorPct);
+  EXPECT_DOUBLE_EQ(back.costPerUseCents, o.costPerUseCents);
+  EXPECT_EQ(back.remote, o.remote);
+}
+
+TEST(Negotiation, EndToEndOverRmi) {
+  LogSink log;
+  ProviderServer server("p", &log);
+  server.registerComponent(
+      fullSpec(),
+      [](std::uint64_t w) {
+        return std::make_shared<const gate::Netlist>(
+            gate::makeArrayMultiplier(static_cast<int>(w)));
+      },
+      nullptr);
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal(), &log);
+  ProviderHandle provider(channel);
+  rmi::Args args;
+  args.addU64(8);
+  auto resp = provider.call(rmi::MethodId::Instantiate, 0, std::move(args),
+                            "MULT");
+  ASSERT_TRUE(resp.ok());
+  const auto id = resp.payload.readU64();
+
+  // Round 1: free and loose -> linear regression.
+  auto r1 = negotiateEstimator(provider, id, ParamKind::AvgPower, 0.0, 100.0);
+  EXPECT_EQ(r1.outcome, NegotiationResult::Outcome::Accepted);
+  EXPECT_EQ(r1.offer.name, "linear-regression");
+
+  // Round 2: demand 15% error on a zero budget -> counter-offer.
+  auto r2 = negotiateEstimator(provider, id, ParamKind::AvgPower, 0.0, 15.0);
+  EXPECT_EQ(r2.outcome, NegotiationResult::Outcome::CounterOffer);
+  EXPECT_EQ(r2.offer.name, "gate-level-toggle");
+
+  // Round 3: the client accepts the counter-offer's fee.
+  auto r3 = negotiateEstimator(provider, id, ParamKind::AvgPower,
+                               r2.offer.costPerUseCents, 15.0);
+  EXPECT_EQ(r3.outcome, NegotiationResult::Outcome::Accepted);
+  EXPECT_EQ(r3.offer.name, "gate-level-toggle");
+
+  // Impossible request -> unavailable.
+  auto r4 = negotiateEstimator(provider, id, ParamKind::AvgPower, 100.0, 1.0);
+  EXPECT_EQ(r4.outcome, NegotiationResult::Outcome::Unavailable);
+}
+
+}  // namespace
+}  // namespace vcad::ip

