@@ -43,12 +43,16 @@ bool Scheduler::step() {
 
 std::size_t Scheduler::run(std::size_t maxEvents) {
   std::size_t n = 0;
-  while (step()) {
-    if (++n > maxEvents) {
+  // The limit is exact: dispatching maxEvents events is allowed, attempting
+  // one more throws before it is delivered.
+  while (!queue_.empty()) {
+    if (n >= maxEvents) {
       throw std::runtime_error(
           "Scheduler::run exceeded event limit (combinational loop or "
           "runaway self-trigger?)");
     }
+    step();
+    ++n;
   }
   return n;
 }
@@ -56,10 +60,11 @@ std::size_t Scheduler::run(std::size_t maxEvents) {
 std::size_t Scheduler::runUntil(SimTime until, std::size_t maxEvents) {
   std::size_t n = 0;
   while (!queue_.empty() && queue_.top().time <= until) {
-    step();
-    if (++n > maxEvents) {
+    if (n >= maxEvents) {
       throw std::runtime_error("Scheduler::runUntil exceeded event limit");
     }
+    step();
+    ++n;
   }
   return n;
 }

@@ -4,6 +4,14 @@
 
 namespace vcad::fault {
 
+std::vector<DetectionTable> FaultClient::detectionTables(
+    const std::vector<Word>& inputs) {
+  std::vector<DetectionTable> out;
+  out.reserve(inputs.size());
+  for (const Word& w : inputs) out.push_back(detectionTable(w));
+  return out;
+}
+
 Word FaultClient::observedInputs(const SimContext& ctx) {
   Module& m = module();
   const auto ins = m.inputPorts();

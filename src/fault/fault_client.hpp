@@ -33,6 +33,14 @@ class FaultClient {
   /// Phase 2: detection table for one input configuration.
   virtual DetectionTable detectionTable(const Word& inputs) = 0;
 
+  /// Phase 2, batched: one detection table per buffered input configuration,
+  /// in order. The default falls back to one detectionTable() call per
+  /// entry; remote implementations override it to fetch the whole buffer in
+  /// a single round trip (the paper's pattern-buffering mechanism applied to
+  /// fault characterization).
+  virtual std::vector<DetectionTable> detectionTables(
+      const std::vector<Word>& inputs);
+
   /// Component input configuration currently visible to `ctx`'s scheduler
   /// (one bit per module input port, in port order).
   Word observedInputs(const SimContext& ctx);

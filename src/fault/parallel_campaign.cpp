@@ -1,0 +1,312 @@
+#include "fault/parallel_campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace vcad::fault {
+namespace {
+
+/// Minimal persistent worker pool: parallelFor shards [0, count) across the
+/// workers via an atomic index and blocks the caller until every worker has
+/// drained the range. Persistent threads avoid per-pattern spawn churn,
+/// which would otherwise eat the speedup on small designs. The first
+/// exception a job throws is captured and rethrown on the calling thread.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t threads) {
+    threads_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (threads_.empty()) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_ = threads_.size();
+    ++generation_;
+    wake_.notify_all();
+    // remaining_ hits zero only after every worker has both observed this
+    // generation and exhausted the index range, so the job/count references
+    // stay valid for exactly as long as any worker can touch them.
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void workerLoop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::function<void(std::size_t)>* job = job_;
+      const std::size_t count = count_;
+      lock.unlock();
+      for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = next_.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+          (*job)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (--remaining_ == 0) done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+ParallelFaultSimulator::ParallelFaultSimulator(
+    Circuit& design, std::vector<FaultClient*> components,
+    std::vector<Connector*> primaryInputs,
+    std::vector<Connector*> primaryOutputs, ParallelCampaignConfig config)
+    : design_(design),
+      components_(std::move(components)),
+      pis_(std::move(primaryInputs)),
+      pos_(std::move(primaryOutputs)),
+      config_(config) {
+  if (components_.empty()) {
+    throw std::invalid_argument("ParallelFaultSimulator: no components");
+  }
+  if (pis_.empty() || pos_.empty()) {
+    throw std::invalid_argument(
+        "ParallelFaultSimulator: need primary inputs and outputs");
+  }
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.batchSize == 0) config_.batchSize = 1;
+}
+
+void ParallelFaultSimulator::applyPattern(SimulationController& sim,
+                                          const std::vector<Word>& pattern) {
+  if (pattern.size() != pis_.size()) {
+    throw std::invalid_argument("pattern arity does not match primary inputs");
+  }
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    sim.inject(*pis_[i], pattern[i]);
+  }
+  sim.start();
+}
+
+CampaignResult ParallelFaultSimulator::run(
+    const std::vector<std::vector<Word>>& patterns) {
+  CampaignResult res;
+
+  // --- Phase 1: compose the symbolic fault lists (identical to serial) ----
+  std::vector<std::string> prefixes(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    prefixes[c] = components_[c]->module().name() + "/";
+    for (const std::string& s : components_[c]->faultList()) {
+      res.faultList.push_back(prefixes[c] + s);
+    }
+  }
+
+  // Workers beyond the job count just park; one thread means run inline.
+  WorkerPool pool(config_.threads > 1 ? config_.threads : 0);
+  std::mutex detectedMutex;
+
+  // Per-component table cache keyed by observed input configuration, as in
+  // the serial engine. std::map nodes are stable, so tables can be bound by
+  // pointer across later insertions.
+  std::vector<std::map<std::string, DetectionTable>> cache(components_.size());
+
+  struct PatternRun {
+    std::unique_ptr<SimulationController> sim;  // kept alive through the
+                                                // pattern's injections
+    std::vector<Word> golden;      // fault-free primary-output snapshot
+    std::vector<Word> compInputs;  // observed inputs, one per component
+  };
+
+  for (std::size_t base = 0; base < patterns.size();
+       base += config_.batchSize) {
+    const std::size_t batchEnd =
+        std::min(base + config_.batchSize, patterns.size());
+    const std::size_t nBatch = batchEnd - base;
+
+    // --- Fault-free reference runs for the batch (concurrent: each run has
+    // its own scheduler, so the state LUTs keep them independent). --------
+    std::vector<PatternRun> runs(nBatch);
+    pool.parallelFor(nBatch, [&](std::size_t i) {
+      PatternRun& pr = runs[i];
+      pr.sim = std::make_unique<SimulationController>(design_);
+      applyPattern(*pr.sim, patterns[base + i]);
+      const SimContext ctx{pr.sim->scheduler(), nullptr};
+      pr.golden.reserve(pos_.size());
+      for (Connector* po : pos_) {
+        pr.golden.push_back(po->value(pr.sim->scheduler().id()));
+      }
+      pr.compInputs.reserve(components_.size());
+      for (FaultClient* comp : components_) {
+        pr.compInputs.push_back(comp->observedInputs(ctx));
+      }
+    });
+
+    // --- Batched detection-table fetch: per component, every input
+    // configuration of the batch not already cached ships in one
+    // GetDetectionTables round trip. -------------------------------------
+    std::vector<std::vector<const DetectionTable*>> tables(
+        nBatch, std::vector<const DetectionTable*>(components_.size()));
+    // Lifetime holder for uncached-mode tables (must outlive injections).
+    std::vector<std::vector<DetectionTable>> fresh(components_.size());
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      if (config_.cacheTables) {
+        auto& compCache = cache[c];
+        std::vector<Word> missing;
+        std::vector<std::string> missingKeys;
+        std::map<std::string, std::size_t> pending;  // key -> missing index
+        for (std::size_t i = 0; i < nBatch; ++i) {
+          const std::string key = runs[i].compInputs[c].toString();
+          if (compCache.find(key) != compCache.end() ||
+              pending.find(key) != pending.end()) {
+            ++res.tableCacheHits;
+          } else {
+            pending.emplace(key, missing.size());
+            missing.push_back(runs[i].compInputs[c]);
+            missingKeys.push_back(key);
+            ++res.detectionTablesRequested;
+          }
+        }
+        if (!missing.empty()) {
+          std::vector<DetectionTable> fetched =
+              components_[c]->detectionTables(missing);
+          if (fetched.size() != missing.size()) {
+            throw std::runtime_error(
+                "detectionTables returned a short batch for component " +
+                components_[c]->module().name());
+          }
+          ++res.tableFetchRoundTrips;
+          for (std::size_t j = 0; j < fetched.size(); ++j) {
+            compCache.emplace(missingKeys[j], std::move(fetched[j]));
+          }
+        }
+        for (std::size_t i = 0; i < nBatch; ++i) {
+          tables[i][c] = &compCache.at(runs[i].compInputs[c].toString());
+        }
+      } else {
+        std::vector<Word> all;
+        all.reserve(nBatch);
+        for (std::size_t i = 0; i < nBatch; ++i) {
+          all.push_back(runs[i].compInputs[c]);
+        }
+        fresh[c] = components_[c]->detectionTables(all);
+        if (fresh[c].size() != all.size()) {
+          throw std::runtime_error(
+              "detectionTables returned a short batch for component " +
+              components_[c]->module().name());
+        }
+        res.detectionTablesRequested += nBatch;
+        ++res.tableFetchRoundTrips;
+        for (std::size_t i = 0; i < nBatch; ++i) {
+          tables[i][c] = &fresh[c][i];
+        }
+      }
+    }
+
+    // --- Injections: patterns commit strictly in order (preserving the
+    // per-pattern coverage curve); within a pattern, the row jobs shard
+    // across the pool. ----------------------------------------------------
+    for (std::size_t i = 0; i < nBatch; ++i) {
+      struct Job {
+        std::size_t comp;
+        const DetectionTable::Row* row;
+      };
+      std::vector<Job> jobs;
+      for (std::size_t c = 0; c < components_.size(); ++c) {
+        for (const DetectionTable::Row& row : tables[i][c]->rows()) {
+          bool anyUndetected = false;
+          for (const std::string& f : row.faults) {
+            if (res.detected.find(prefixes[c] + f) == res.detected.end()) {
+              anyUndetected = true;
+              break;
+            }
+          }
+          if (anyUndetected) jobs.push_back(Job{c, &row});
+        }
+      }
+
+      const std::vector<Word>& pattern = patterns[base + i];
+      const PatternRun& pr = runs[i];
+      pool.parallelFor(jobs.size(), [&](std::size_t j) {
+        const Job& job = jobs[j];
+        FaultClient& comp = *components_[job.comp];
+        SimulationController inj(design_);
+        inj.forceOutputs(comp.module(), comp.overridesFor(job.row->faultyOutput));
+        applyPattern(inj, pattern);
+        bool observable = false;
+        for (std::size_t k = 0; k < pos_.size(); ++k) {
+          if (pos_[k]->value(inj.scheduler().id()) != pr.golden[k]) {
+            observable = true;
+            break;
+          }
+        }
+        if (observable) {
+          std::lock_guard<std::mutex> lock(detectedMutex);
+          for (const std::string& f : job.row->faults) {
+            res.detected.insert(prefixes[job.comp] + f);
+          }
+        }
+        design_.clearSchedulerState(inj.scheduler().id());
+      });
+
+      res.injections += jobs.size();
+      res.detectedAfterPattern.push_back(res.detected.size());
+      design_.clearSchedulerState(pr.sim->scheduler().id());
+    }
+  }
+  return res;
+}
+
+CampaignResult ParallelFaultSimulator::runPacked(
+    const std::vector<Word>& packedPatterns) {
+  return run(unpackPatterns(packedPatterns, pis_.size()));
+}
+
+}  // namespace vcad::fault

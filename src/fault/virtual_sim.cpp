@@ -67,18 +67,28 @@ CampaignResult VirtualFaultSimulator::run(
       const Word inputs = comp.observedInputs(ffCtx);
       const std::string cacheKey = inputs.toString();
       auto& cache = tableCache[c];
-      auto cached = cacheTables_ ? cache.find(cacheKey) : cache.end();
-      if (cacheTables_ && cached == cache.end()) {
-        cached = cache.emplace(cacheKey, comp.detectionTable(inputs)).first;
+      // Bind the table by reference: copying a cached DetectionTable for
+      // every (pattern, component) pair was pure per-pattern overhead.
+      DetectionTable fetched;
+      const DetectionTable* table = nullptr;
+      if (cacheTables_) {
+        auto cached = cache.find(cacheKey);
+        if (cached == cache.end()) {
+          cached = cache.emplace(cacheKey, comp.detectionTable(inputs)).first;
+          ++res.detectionTablesRequested;
+          ++res.tableFetchRoundTrips;
+        } else {
+          ++res.tableCacheHits;
+        }
+        table = &cached->second;
+      } else {
+        fetched = comp.detectionTable(inputs);
         ++res.detectionTablesRequested;
-      } else if (cacheTables_) {
-        ++res.tableCacheHits;
+        ++res.tableFetchRoundTrips;
+        table = &fetched;
       }
-      const DetectionTable table =
-          cacheTables_ ? cached->second : comp.detectionTable(inputs);
-      if (!cacheTables_) ++res.detectionTablesRequested;
 
-      for (const DetectionTable::Row& row : table.rows()) {
+      for (const DetectionTable::Row& row : table->rows()) {
         // Skip rows whose faults are all already detected.
         bool anyUndetected = false;
         for (const std::string& f : row.faults) {
@@ -117,20 +127,25 @@ CampaignResult VirtualFaultSimulator::run(
 
 CampaignResult VirtualFaultSimulator::runPacked(
     const std::vector<Word>& packedPatterns) {
+  return run(unpackPatterns(packedPatterns, pis_.size()));
+}
+
+std::vector<std::vector<Word>> unpackPatterns(
+    const std::vector<Word>& packedPatterns, std::size_t primaryInputs) {
   std::vector<std::vector<Word>> unpacked;
   unpacked.reserve(packedPatterns.size());
   for (const Word& w : packedPatterns) {
-    if (w.width() != static_cast<int>(pis_.size())) {
+    if (w.width() != static_cast<int>(primaryInputs)) {
       throw std::invalid_argument("packed pattern width != primary inputs");
     }
     std::vector<Word> p;
-    p.reserve(pis_.size());
-    for (std::size_t i = 0; i < pis_.size(); ++i) {
+    p.reserve(primaryInputs);
+    for (std::size_t i = 0; i < primaryInputs; ++i) {
       p.push_back(Word::fromLogic(w.bit(static_cast<int>(i))));
     }
     unpacked.push_back(std::move(p));
   }
-  return run(unpacked);
+  return unpacked;
 }
 
 }  // namespace vcad::fault

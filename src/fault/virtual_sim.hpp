@@ -36,6 +36,10 @@ struct CampaignResult {
 
   // Protocol/effort accounting for the ablation benches.
   std::uint64_t detectionTablesRequested = 0;
+  std::uint64_t tableFetchRoundTrips = 0;  // provider message pairs spent on
+                                           // tables; < requested when the
+                                           // batched GetDetectionTables
+                                           // method amortizes them
   std::uint64_t tableCacheHits = 0;  // repeated input configurations served
                                      // from the client-side cache (the paper:
                                      // pattern 1101 "leads to the same
@@ -84,5 +88,11 @@ class VirtualFaultSimulator {
   std::vector<Connector*> pos_;
   bool cacheTables_ = true;
 };
+
+/// Expands packed single-bit patterns (bit i -> primary input i) into the
+/// one-word-per-input form run() consumes. Shared by the serial and parallel
+/// campaign engines.
+std::vector<std::vector<Word>> unpackPatterns(
+    const std::vector<Word>& packedPatterns, std::size_t primaryInputs);
 
 }  // namespace vcad::fault

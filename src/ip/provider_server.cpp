@@ -328,6 +328,27 @@ Response ProviderServer::handle(const Request& request) {
       charge(request.session, MethodId::GetDetectionTable, spec.fees.perDetectionTableCents, resp);
       return resp;
     }
+    case MethodId::GetDetectionTables: {
+      if (spec.testability < ModelLevel::Dynamic) {
+        return Response::failure(
+            Status::Error,
+            "no dynamic testability model for " + inst->component);
+      }
+      // Batched variant: one table per buffered input configuration, one
+      // message pair total. Fees are identical to the per-table method —
+      // batching saves round trips, not licensing cost.
+      const std::vector<Word> configs = args.takeWordVector();
+      Response resp;
+      resp.payload.writeU32(static_cast<std::uint32_t>(configs.size()));
+      for (const Word& inputs : configs) {
+        inst->impl->detectionTable(inputs).serialize(resp.payload);
+      }
+      charge(request.session, MethodId::GetDetectionTables,
+             spec.fees.perDetectionTableCents *
+                 static_cast<double>(configs.size()),
+             resp);
+      return resp;
+    }
     default:
       return Response::failure(Status::Error, "unsupported method");
   }

@@ -251,6 +251,30 @@ fault::DetectionTable RemoteFaultClient::detectionTable(const Word& inputs) {
   return fault::DetectionTable::deserialize(resp.payload);
 }
 
+std::vector<fault::DetectionTable> RemoteFaultClient::detectionTables(
+    const std::vector<Word>& inputs) {
+  if (inputs.empty()) return {};
+  Args args;
+  args.addWordVector(inputs);
+  Response resp = component_.provider().call(
+      MethodId::GetDetectionTables, component_.instanceId(), std::move(args));
+  if (!resp.ok()) {
+    throw std::runtime_error("GetDetectionTables failed: " + resp.error);
+  }
+  const std::uint32_t n = resp.payload.readU32();
+  if (n != inputs.size()) {
+    throw std::runtime_error(
+        "GetDetectionTables: provider returned " + std::to_string(n) +
+        " tables for " + std::to_string(inputs.size()) + " configurations");
+  }
+  std::vector<fault::DetectionTable> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(fault::DetectionTable::deserialize(resp.payload));
+  }
+  return out;
+}
+
 // --- RemoteSeqFaultClient ------------------------------------------------
 
 RemoteSeqFaultClient::RemoteSeqFaultClient(ProviderHandle& provider,

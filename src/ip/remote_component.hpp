@@ -134,6 +134,12 @@ class RemoteFaultClient final : public fault::FaultClient {
   std::vector<std::string> faultList() override;
   fault::DetectionTable detectionTable(const Word& inputs) override;
 
+  /// Batched fetch: ships the whole buffer of input configurations in one
+  /// GetDetectionTables request — one message pair on the channel instead of
+  /// one per configuration.
+  std::vector<fault::DetectionTable> detectionTables(
+      const std::vector<Word>& inputs) override;
+
  private:
   RemoteComponent& component_;
 };

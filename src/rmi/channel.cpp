@@ -25,6 +25,7 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
   // 1. Security: inspect exactly what would go on the wire.
   if (!filter_.admit(request)) {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
     ++stats_.securityRejections;
     return Response::failure(
         Status::SecurityViolation,
@@ -43,13 +44,19 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
   // 3. Server executes; measure its compute time with a high-resolution
   // monotonic clock (the dispatch never blocks, so wall time == compute
   // time, and this avoids the coarse granularity of kernel CPU accounting).
+  // Dispatch is serialized per channel: concurrent callAsync threads must
+  // not race on provider-side state (fee accounting, session tables).
   Request onServer = Request::unmarshal(wire);
-  const auto serverStart = std::chrono::steady_clock::now();
-  Response response = server_.dispatch(onServer);
-  const double serverCpu =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    serverStart)
-          .count();
+  double serverCpu = 0.0;
+  Response response;
+  {
+    std::lock_guard<std::mutex> dispatchLock(dispatchMutex_);
+    const auto serverStart = std::chrono::steady_clock::now();
+    response = server_.dispatch(onServer);
+    serverCpu = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              serverStart)
+                    .count();
+  }
   wallSec += model_.serverComputeWallSec(serverCpu);
 
   // 4. Marshal and ship the response.

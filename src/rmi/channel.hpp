@@ -10,6 +10,13 @@
 // paper's new-thread gate-level simulations) accumulate on a separate
 // overlap account, so the harness can reconstruct how much latency was
 // hidden behind client compute.
+//
+// Thread safety: call() and callAsync() may be issued concurrently from any
+// number of threads (the parallel fault campaign shares one channel across
+// its worker pool). Stats/model updates are guarded by one mutex, and
+// server dispatch is serialized per channel by a second one, so a
+// ServerEndpoint only ever sees one in-flight request per channel — endpoint
+// implementations need no internal locking of their own.
 #pragma once
 
 #include <functional>
@@ -32,7 +39,9 @@ class ServerEndpoint {
 };
 
 struct ChannelStats {
-  std::uint64_t calls = 0;
+  std::uint64_t calls = 0;  // every attempted call, security rejections
+                            // included (rejections never reach the server,
+                            // but they are client requests all the same)
   std::uint64_t blockedCalls = 0;
   std::uint64_t asyncCalls = 0;
   std::uint64_t securityRejections = 0;
@@ -76,6 +85,10 @@ class RmiChannel {
   MarshalFilter filter_;
   LogSink* audit_;
   std::mutex mutex_;  // serializes stats/model updates across async calls
+  std::mutex dispatchMutex_;  // serializes server dispatch: callAsync spawns
+                              // concurrent threads, but provider-side state
+                              // (fee accounting, session tables) sees one
+                              // request at a time per channel
   ChannelStats stats_;
 };
 

@@ -32,6 +32,8 @@ std::string toString(MethodId m) {
       return "SeqStep";
     case MethodId::Negotiate:
       return "Negotiate";
+    case MethodId::GetDetectionTables:
+      return "GetDetectionTables";
   }
   return "?";
 }

@@ -38,6 +38,10 @@ enum class MethodId : std::uint32_t {
   SeqReset,         // sequential extension: reset good/faulty shadow machine
   SeqStep,          // sequential extension: clock a machine one cycle
   Negotiate,        // interactive estimator negotiation (constraints -> offer)
+  GetDetectionTables,  // batched: a buffer of input configurations -> one
+                       // detection table per entry, one message pair total
+                       // (the pattern-buffering mechanism applied to fault
+                       // characterization)
 };
 
 std::string toString(MethodId m);

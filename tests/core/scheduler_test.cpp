@@ -131,6 +131,56 @@ TEST(Scheduler, EventLimitGuard) {
   EXPECT_THROW(s.run(1000), std::runtime_error);
 }
 
+TEST(Scheduler, EventLimitIsExact) {
+  // Regression for an off-by-one: the old guard fired only after
+  // maxEvents + 1 events had already been dispatched. The limit must be
+  // exact — the (maxEvents+1)-th event throws BEFORE it is delivered.
+  class Oscillator : public Module {
+   public:
+    using Module::Module;
+    void initialize(SimContext& ctx) override { selfSchedule(ctx, 1); }
+    void processSelfEvent(const SelfToken&, SimContext& ctx) override {
+      selfSchedule(ctx, 1);
+    }
+  };
+  Oscillator osc("osc");
+  Scheduler s;
+  SimContext ctx{s, nullptr};
+  osc.initialize(ctx);
+  EXPECT_THROW(s.run(5), std::runtime_error);
+  EXPECT_EQ(s.dispatched(), 5u);
+
+  Scheduler s2;
+  SimContext ctx2{s2, nullptr};
+  osc.initialize(ctx2);
+  EXPECT_THROW(s2.runUntil(1000, 5), std::runtime_error);
+  EXPECT_EQ(s2.dispatched(), 5u);
+}
+
+TEST(Scheduler, EventLimitAllowsExactlyMaxEvents) {
+  // A finite run of exactly maxEvents events must complete without
+  // tripping the guard.
+  WordConnector c(8);
+  Probe p("p", c);
+  Scheduler s;
+  for (int i = 0; i < 3; ++i) {
+    s.schedule(std::make_unique<SignalToken>(*c.endpoints()[0],
+                                             Word::fromUint(8, 1)),
+               static_cast<SimTime>(i));
+  }
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(p.received.size(), 3u);
+
+  Scheduler s2;
+  for (int i = 0; i < 3; ++i) {
+    s2.schedule(std::make_unique<SignalToken>(*c.endpoints()[0],
+                                              Word::fromUint(8, 1)),
+                static_cast<SimTime>(i));
+  }
+  EXPECT_THROW(s2.run(2), std::runtime_error);
+  EXPECT_EQ(s2.dispatched(), 2u);
+}
+
 TEST(Scheduler, NullTokenRejected) {
   Scheduler s;
   EXPECT_THROW(s.schedule(nullptr), std::invalid_argument);

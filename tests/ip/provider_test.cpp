@@ -141,6 +141,54 @@ TEST(ProviderServer, PowerRejectedWithoutDynamicModel) {
             rmi::Status::Error);
 }
 
+TEST(ProviderServer, BatchedDetectionTablesMatchSingles) {
+  Fixture f;
+  ProviderHandle handle(f.channel);
+  rmi::Args args;
+  args.addU64(3);
+  auto resp =
+      handle.call(MethodId::Instantiate, 0, std::move(args), "MultFastLowPower");
+  const rmi::InstanceId id = resp.payload.readU64();
+
+  const std::vector<Word> configs = {
+      Word::fromUint(6, 0x15), Word::fromUint(6, 0x2A), Word::fromUint(6, 0x00)};
+
+  // Batched: one call, one response carrying every table.
+  rmi::Args batch;
+  batch.addWordVector(configs);
+  auto bresp = handle.call(MethodId::GetDetectionTables, id, std::move(batch));
+  ASSERT_TRUE(bresp.ok());
+  ASSERT_EQ(bresp.payload.readU32(), configs.size());
+  // The batch is charged per table, same rate as the unbatched method.
+  EXPECT_DOUBLE_EQ(bresp.feeCents, 0.05 * static_cast<double>(configs.size()));
+
+  for (const Word& w : configs) {
+    const auto batched = fault::DetectionTable::deserialize(bresp.payload);
+    rmi::Args one;
+    one.addWord(w);
+    auto sresp = handle.call(MethodId::GetDetectionTable, id, std::move(one));
+    ASSERT_TRUE(sresp.ok());
+    const auto single = fault::DetectionTable::deserialize(sresp.payload);
+    EXPECT_EQ(batched.toString(), single.toString());
+  }
+}
+
+TEST(ProviderServer, BatchedDetectionTablesNeedDynamicTestability) {
+  Fixture f(ModelLevel::Dynamic);
+  // Re-register with static-only testability.
+  registerMultiplier(f.server, ModelLevel::Dynamic, ModelLevel::Static);
+  ProviderHandle handle(f.channel);
+  rmi::Args args;
+  args.addU64(3);
+  auto resp =
+      handle.call(MethodId::Instantiate, 0, std::move(args), "MultFastLowPower");
+  const rmi::InstanceId id = resp.payload.readU64();
+  rmi::Args batch;
+  batch.addWordVector({Word::fromUint(6, 1)});
+  EXPECT_EQ(handle.call(MethodId::GetDetectionTables, id, std::move(batch)).status,
+            rmi::Status::Error);
+}
+
 TEST(ProviderServer, FeesAccumulatePerSession) {
   Fixture f;
   ProviderHandle handle(f.channel);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace vcad::rmi {
 namespace {
 
@@ -101,7 +103,10 @@ TEST(RmiChannel, SecurityRejectionNeverReachesServer) {
   EXPECT_EQ(resp.status, Status::SecurityViolation);
   EXPECT_EQ(server.dispatched, 0);
   EXPECT_EQ(ch.stats().securityRejections, 1u);
-  EXPECT_EQ(ch.stats().calls, 0u);
+  // Rejected requests still count as calls (they are attempted client
+  // requests), they just never produce traffic or reach the server.
+  EXPECT_EQ(ch.stats().calls, 1u);
+  EXPECT_EQ(ch.stats().bytesSent, 0u);
   EXPECT_EQ(audit.count(Severity::Security), 1u);
 }
 
@@ -115,6 +120,27 @@ TEST(RmiChannel, AsyncCallsLandOnOverlapAccount) {
   EXPECT_EQ(ch.stats().blockedCalls, 0u);
   EXPECT_DOUBLE_EQ(ch.stats().blockingWallSec, 0.0);
   EXPECT_GT(ch.stats().nonblockingWallSec, 0.0);
+}
+
+TEST(RmiChannel, ConcurrentAsyncDispatchIsSerialized) {
+  // EchoServer's counters are deliberately plain (non-atomic) ints: the
+  // channel guarantees one in-flight dispatch at a time per channel, so
+  // concurrent callAsync traffic must still count every request exactly
+  // once (and TSan must stay quiet).
+  EchoServer server;
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  constexpr int kCalls = 64;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(ch.callAsync(echoRequest(static_cast<std::uint64_t>(i))));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.get().ok());
+  }
+  EXPECT_EQ(server.dispatched, kCalls);
+  EXPECT_EQ(ch.stats().calls, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(ch.stats().asyncCalls, static_cast<std::uint64_t>(kCalls));
 }
 
 TEST(RmiChannel, ServerCpuIsMeasured) {
