@@ -1,0 +1,118 @@
+// Ablation bench for the unreliable-transport robustness layer:
+//
+//   1. Retry overhead per fault profile: simulated transport time and
+//      retransmission counts for a fixed RMI workload under each shipped
+//      FaultProfile, against the ideal-transport baseline.
+//   2. Micro-costs of the mechanisms themselves: frame checksum seal/open
+//      and the per-attempt fault-plan derivation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "net/faulty_transport.hpp"
+#include "rmi/channel.hpp"
+
+namespace vcad::bench {
+namespace {
+
+/// Minimal echo endpoint: the workload is pure transport.
+class EchoEndpoint : public rmi::ServerEndpoint {
+ public:
+  rmi::Response dispatch(const rmi::Request& request) override {
+    rmi::Response r;
+    rmi::Args args = request.args;
+    r.payload.writeWord(args.takeWord());
+    return r;
+  }
+  std::string hostName() const override { return "bench.echo"; }
+};
+
+void profileOverheadTable() {
+  constexpr int kCalls = 300;
+  std::printf("\n[1] transport-fault overhead: %d echo calls over a WAN "
+              "channel, per shipped profile (seed 1)\n",
+              kCalls);
+  std::printf("    %-10s | %8s | %8s | %8s | %9s | %11s | %9s\n", "profile",
+              "retries", "timeouts", "replays", "corrupted", "network s",
+              "failures");
+  printRule(80);
+
+  std::vector<net::FaultProfile> profiles = {net::FaultProfile::none()};
+  for (const auto& p : net::FaultProfile::shipped()) profiles.push_back(p);
+
+  for (const net::FaultProfile& profile : profiles) {
+    EchoEndpoint server;
+    net::FaultyTransport transport(profile, 1);
+    rmi::RmiChannel channel(server, net::NetworkProfile::wan());
+    channel.setTransport(&transport);
+    for (int i = 0; i < kCalls; ++i) {
+      rmi::Request req;
+      req.method = rmi::MethodId::EvalFunction;
+      req.args.addWord(Word::fromUint(32, static_cast<std::uint64_t>(i)));
+      (void)channel.call(req);
+    }
+    const rmi::ChannelStats& s = channel.stats();
+    std::printf("    %-10s | %8llu | %8llu | %8llu | %9llu | %11.3f | %9llu\n",
+                profile.name.c_str(),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.timeouts),
+                static_cast<unsigned long long>(s.duplicatesSuppressed),
+                static_cast<unsigned long long>(s.corruptedFramesDropped),
+                s.networkSec,
+                static_cast<unsigned long long>(s.transportFailures));
+  }
+}
+
+void BM_SealOpenFrame(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)),
+                                    0x5A);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> frame = payload;
+    net::sealFrame(frame);
+    benchmark::DoNotOptimize(net::openFrame(frame));
+  }
+}
+BENCHMARK(BM_SealOpenFrame)->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FaultPlanDerivation(benchmark::State& state) {
+  net::FaultyTransport transport(net::FaultProfile::lossy(), 42);
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transport.peek(key++, 1));
+  }
+}
+BENCHMARK(BM_FaultPlanDerivation)->Unit(benchmark::kNanosecond);
+
+void BM_EchoCallOverTransport(benchmark::State& state) {
+  // range(0): 0 = no transport installed, 1 = ideal profile through the
+  // transport path, 2 = lossy profile (retries included).
+  EchoEndpoint server;
+  net::FaultyTransport ideal(net::FaultProfile::none(), 1);
+  net::FaultyTransport lossy(net::FaultProfile::lossy(), 1);
+  rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
+  if (state.range(0) == 1) channel.setTransport(&ideal);
+  if (state.range(0) == 2) channel.setTransport(&lossy);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    rmi::Request req;
+    req.method = rmi::MethodId::EvalFunction;
+    req.args.addWord(Word::fromUint(32, i++));
+    benchmark::DoNotOptimize(channel.call(req));
+  }
+}
+BENCHMARK(BM_EchoCallOverTransport)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vcad::bench
+
+int main(int argc, char** argv) {
+  std::printf("\nUnreliable-transport robustness layer: overhead ablation\n");
+  vcad::bench::profileOverheadTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

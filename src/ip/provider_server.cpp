@@ -90,6 +90,21 @@ Response ProviderServer::dispatch(const Request& request) {
   }
 }
 
+void ProviderServer::restart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.clear();
+  instances_.clear();
+  openReplay_.clear();
+  // The id counters deliberately survive: a pre-restart session/instance id
+  // must never be re-issued, or a client holding a stale id would silently
+  // address (and bill) a stranger's post-restart session instead of
+  // receiving the UnknownSession that triggers its recovery.
+  if (log_ != nullptr) {
+    log_->warning("provider '" + hostName_ +
+                  "': restarted (all sessions and instances lost)");
+  }
+}
+
 void ProviderServer::charge(rmi::SessionId session, rmi::MethodId method,
                             double cents, Response& response) {
   Session& sess = sessions_[session];
@@ -154,16 +169,53 @@ Response ProviderServer::handle(const Request& request) {
   std::lock_guard<std::mutex> lock(mutex_);
 
   if (request.method == MethodId::OpenSession) {
+    // Deduplicate retried OpenSessions (no session exists yet to anchor the
+    // replay cache, so these live in a provider-global map).
+    if (request.idempotencyKey != 0) {
+      auto hit = openReplay_.find(request.idempotencyKey);
+      if (hit != openReplay_.end()) {
+        Response replay = hit->second;
+        replay.replayed = true;
+        return replay;
+      }
+    }
     const rmi::SessionId id = nextSession_++;
     sessions_[id] = Session{};
     Response resp;
     resp.payload.writeU64(id);
+    if (request.idempotencyKey != 0) {
+      openReplay_[request.idempotencyKey] = resp;
+    }
     return resp;
   }
 
-  if (sessions_.find(request.session) == sessions_.end()) {
-    return Response::failure(Status::Error, "unknown session");
+  auto sessionIt = sessions_.find(request.session);
+  if (sessionIt == sessions_.end()) {
+    if (request.method == MethodId::CloseSession) {
+      return Response{};  // idempotent: closing a lost session is a no-op
+    }
+    return Response::failure(Status::UnknownSession, "unknown session");
   }
+
+  // Replay cache: a retransmitted non-idempotent call (client retry after a
+  // lost response, or a transport duplicate) is answered with the recorded
+  // response — it must never double-execute or double-bill.
+  const bool cacheable =
+      request.idempotencyKey != 0 && rmi::isNonIdempotent(request.method);
+  if (cacheable) {
+    auto hit = sessionIt->second.replay.find(request.idempotencyKey);
+    if (hit != sessionIt->second.replay.end()) {
+      Response replay = hit->second;
+      replay.replayed = true;
+      return replay;
+    }
+  }
+  const auto remember = [&](Response resp) {
+    if (cacheable) {
+      sessions_.at(request.session).replay[request.idempotencyKey] = resp;
+    }
+    return resp;
+  };
 
   switch (request.method) {
     case MethodId::CloseSession: {
@@ -186,7 +238,7 @@ Response ProviderServer::handle(const Request& request) {
       return resp;
     }
     case MethodId::Instantiate:
-      return instantiate(request);
+      return remember(instantiate(request));
     default:
       break;
   }
@@ -237,13 +289,13 @@ Response ProviderServer::handle(const Request& request) {
     const std::string symbol = args.takeString();
     if (request.method == MethodId::SeqReset) {
       inst->seqImpl->reset(symbol);
-      return Response{};
+      return remember(Response{});
     }
     const Word inputs = args.takeWord();
     Response resp;
     resp.payload.writeWord(inst->seqImpl->step(symbol, inputs));
     charge(request.session, MethodId::SeqStep, spec.fees.perEvalCents, resp);
-    return resp;
+    return remember(resp);
   }
   if (request.method == MethodId::GetFaultList && inst->seqImpl != nullptr) {
     if (spec.testability < ModelLevel::Static) {
@@ -267,7 +319,7 @@ Response ProviderServer::handle(const Request& request) {
       Response resp;
       resp.payload.writeWord(inst->impl->eval(inputs));
       charge(request.session, MethodId::EvalFunction, spec.fees.perEvalCents, resp);
-      return resp;
+      return remember(resp);
     }
     case MethodId::EstimatePower: {
       if (spec.power < ModelLevel::Dynamic) {
@@ -283,7 +335,7 @@ Response ProviderServer::handle(const Request& request) {
       charge(request.session, MethodId::EstimatePower,
              spec.fees.perPowerPatternCents * static_cast<double>(billed),
              resp);
-      return resp;
+      return remember(resp);
     }
     case MethodId::EstimateTiming: {
       if (spec.timing < ModelLevel::Dynamic) {
@@ -293,7 +345,7 @@ Response ProviderServer::handle(const Request& request) {
       Response resp;
       resp.payload.writeDouble(inst->impl->timingNs());
       charge(request.session, MethodId::EstimateTiming, spec.fees.perTimingQueryCents, resp);
-      return resp;
+      return remember(resp);
     }
     case MethodId::EstimateArea: {
       if (spec.area < ModelLevel::Dynamic) {
@@ -303,7 +355,7 @@ Response ProviderServer::handle(const Request& request) {
       Response resp;
       resp.payload.writeDouble(inst->impl->areaUm2());
       charge(request.session, MethodId::EstimateArea, spec.fees.perAreaQueryCents, resp);
-      return resp;
+      return remember(resp);
     }
     case MethodId::GetFaultList: {
       if (spec.testability < ModelLevel::Static) {
@@ -326,7 +378,7 @@ Response ProviderServer::handle(const Request& request) {
       Response resp;
       inst->impl->detectionTable(inputs).serialize(resp.payload);
       charge(request.session, MethodId::GetDetectionTable, spec.fees.perDetectionTableCents, resp);
-      return resp;
+      return remember(resp);
     }
     case MethodId::GetDetectionTables: {
       if (spec.testability < ModelLevel::Dynamic) {
@@ -347,7 +399,7 @@ Response ProviderServer::handle(const Request& request) {
              spec.fees.perDetectionTableCents *
                  static_cast<double>(configs.size()),
              resp);
-      return resp;
+      return remember(resp);
     }
     default:
       return Response::failure(Status::Error, "unsupported method");

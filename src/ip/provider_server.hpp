@@ -73,6 +73,12 @@ class ProviderServer : public rmi::ServerEndpoint, public PublicPartSource {
   rmi::Response dispatch(const rmi::Request& request) override;
   std::string hostName() const override { return hostName_; }
 
+  /// Simulates a provider process restart: every session, live instance and
+  /// replay-cache entry is lost (the registered catalog is configuration and
+  /// survives, as it would on disk). Clients holding session ids receive
+  /// UnknownSession afterwards and must run session recovery.
+  void restart();
+
   // --- the "download" path (bytecode + stub shipping) ------------------
 
   const IpComponentSpec* findSpec(const std::string& component) const;
@@ -121,6 +127,11 @@ class ProviderServer : public rmi::ServerEndpoint, public PublicPartSource {
   struct Session {
     double feesCents = 0.0;
     std::map<rmi::MethodId, ChargeItem> items;
+    /// Replay cache: responses of completed non-idempotent calls, keyed by
+    /// idempotency key. A retransmission (client retry, or a transport
+    /// duplicate) is answered from here instead of executing — and billing —
+    /// twice. Dies with the session.
+    std::map<std::uint64_t, rmi::Response> replay;
   };
 
   rmi::Response handle(const rmi::Request& request);
@@ -138,6 +149,10 @@ class ProviderServer : public rmi::ServerEndpoint, public PublicPartSource {
   std::map<std::string, Registration> components_;
   std::map<rmi::SessionId, Session> sessions_;
   std::map<rmi::InstanceId, Instance> instances_;
+  /// Replay cache for OpenSession, which has no session to hang off: a
+  /// retried OpenSession whose first response was lost must not leak a
+  /// second orphan session.
+  std::map<std::uint64_t, rmi::Response> openReplay_;
   rmi::SessionId nextSession_ = 1;
   rmi::InstanceId nextInstance_ = 1;
 };

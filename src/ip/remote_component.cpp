@@ -24,26 +24,139 @@ ProviderHandle::ProviderHandle(rmi::RmiChannel& channel) : channel_(&channel) {
   session_ = resp.payload.readU64();
 }
 
-Response ProviderHandle::call(MethodId method, rmi::InstanceId instance,
-                              Args args, const std::string& component) {
+Response ProviderHandle::callRaw(MethodId method, rmi::SessionId session,
+                                 rmi::InstanceId instance, Args args,
+                                 const std::string& component,
+                                 std::uint64_t key) {
   Request req;
-  req.session = session_;
+  req.session = session;
   req.instance = instance;
   req.method = method;
   req.component = component;
   req.args = std::move(args);
+  req.idempotencyKey = key;
   return channel_->call(req);
+}
+
+rmi::InstanceId ProviderHandle::currentInstance(rmi::InstanceId instance) const {
+  std::lock_guard<std::mutex> lock(recoveryMutex_);
+  // Follow the remap chain: each recovery maps the then-current id to the
+  // fresh one, and the provider never re-issues ids, so chains are acyclic.
+  auto it = remap_.find(instance);
+  while (it != remap_.end()) {
+    instance = it->second;
+    it = remap_.find(instance);
+  }
+  return instance;
+}
+
+Response ProviderHandle::call(MethodId method, rmi::InstanceId instance,
+                              Args args, const std::string& component) {
+  // One idempotency key for the whole logical call: every re-issue below is
+  // a retransmission the provider's replay cache recognizes, so a call that
+  // executed — and billed — before its channel was declared dead is answered
+  // from the cache, never run twice.
+  const std::uint64_t key = channel_->makeKey();
+  constexpr int kRecoveryRounds = 4;
+  for (int round = 0;; ++round) {
+    Response resp = callRaw(method, session(), currentInstance(instance),
+                            args, component, key);
+    if (!autoRecover_ || round >= kRecoveryRounds) return resp;
+    if (resp.status == rmi::Status::TransportFailure) {
+      // Retries exhausted. Re-issue with the same key; the channel resumes
+      // the key's attempt numbering, so the deterministic fault schedule
+      // advances instead of replaying the attempts that just failed.
+      continue;
+    }
+    if (resp.status == rmi::Status::UnknownSession) {
+      // Provider restarted underneath us: reopen a session, replay the
+      // manifest, then retry this call against the recovered state.
+      if (!recover()) return resp;
+      continue;
+    }
+    return resp;
+  }
 }
 
 std::future<Response> ProviderHandle::callAsync(MethodId method,
                                                 rmi::InstanceId instance,
                                                 Args args) {
   Request req;
-  req.session = session_;
-  req.instance = instance;
+  req.session = session();
+  req.instance = currentInstance(instance);
   req.method = method;
   req.args = std::move(args);
   return channel_->callAsync(std::move(req));
+}
+
+ProviderHandle::RecoveryToken ProviderHandle::recordInstantiation(
+    std::string component, std::uint64_t param, rmi::InstanceId instance,
+    std::function<void(rmi::InstanceId)> rebind) {
+  std::lock_guard<std::mutex> lock(recoveryMutex_);
+  entries_.push_back(
+      RecoveryEntry{SessionManifest::Entry{std::move(component), param, instance},
+                    std::move(rebind), true});
+  return entries_.size() - 1;
+}
+
+void ProviderHandle::forgetInstantiation(RecoveryToken token) {
+  std::lock_guard<std::mutex> lock(recoveryMutex_);
+  if (token < entries_.size()) {
+    entries_[token].active = false;
+    entries_[token].rebind = nullptr;
+  }
+}
+
+SessionManifest ProviderHandle::manifest() const {
+  std::lock_guard<std::mutex> lock(recoveryMutex_);
+  SessionManifest m;
+  for (const RecoveryEntry& e : entries_) {
+    if (e.active) m.entries.push_back(e.entry);
+  }
+  return m;
+}
+
+bool ProviderHandle::recover() {
+  std::lock_guard<std::mutex> lock(recoveryMutex_);
+  // Probe first: a concurrent caller may have finished recovery while this
+  // thread waited on the lock, and its fresh session must not be torn down.
+  {
+    Request probe;
+    probe.method = MethodId::GetCatalog;
+    probe.session = session();
+    probe.idempotencyKey = channel_->makeKey();
+    const Response alive = channel_->call(probe);
+    if (alive.ok()) return true;
+    if (alive.status != rmi::Status::UnknownSession) return false;
+  }
+
+  Request open;
+  open.method = MethodId::OpenSession;
+  open.idempotencyKey = channel_->makeKey();
+  Response opened = channel_->call(open);
+  if (!opened.ok()) return false;
+  const rmi::SessionId fresh = opened.payload.readU64();
+
+  // Replay the manifest in instantiation order, rebinding each holder. The
+  // replayed Instantiate calls bill like the originals did — a restart loses
+  // the provider's ledger, not the licensing terms.
+  for (RecoveryEntry& e : entries_) {
+    if (!e.active) continue;
+    Args args;
+    args.addU64(e.entry.param);
+    Response resp = callRaw(MethodId::Instantiate, fresh, 0, std::move(args),
+                            e.entry.component, channel_->makeKey());
+    if (!resp.ok()) return false;
+    const rmi::InstanceId fresherId = resp.payload.readU64();
+    if (fresherId != e.entry.instance) {
+      remap_[e.entry.instance] = fresherId;
+    }
+    e.entry.instance = fresherId;
+    if (e.rebind) e.rebind(fresherId);
+  }
+  session_.store(fresh, std::memory_order_release);
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::vector<IpComponentSpec> ProviderHandle::catalog() {
@@ -93,6 +206,11 @@ RemoteComponent::RemoteComponent(
                              "': instantiation failed: " + resp.error);
   }
   instance_ = resp.payload.readU64();
+  recoveryToken_ = provider_->recordInstantiation(
+      componentName, param, instance_,
+      [this](rmi::InstanceId fresh) {
+        instance_.store(fresh, std::memory_order_release);
+      });
 
   // Download the public part (the loadable "bytecode").
   if (auto* src =
@@ -105,6 +223,10 @@ RemoteComponent::RemoteComponent(
         "RemoteComponent '" + this->name() +
         "': provider releases no local functional model; use FullyRemote");
   }
+}
+
+RemoteComponent::~RemoteComponent() {
+  provider_->forgetInstantiation(recoveryToken_);
 }
 
 Word RemoteComponent::gatherInputs(const SimContext& ctx) const {
@@ -290,6 +412,17 @@ RemoteSeqFaultClient::RemoteSeqFaultClient(ProviderHandle& provider,
                              resp.error);
   }
   instance_ = resp.payload.readU64();
+  // Recovery restores the instantiation, not the shadow machines' state: a
+  // sequential campaign interrupted by a restart must re-reset its machines.
+  recoveryToken_ = provider_->recordInstantiation(
+      componentName, param, instance_,
+      [this](rmi::InstanceId fresh) {
+        instance_.store(fresh, std::memory_order_release);
+      });
+}
+
+RemoteSeqFaultClient::~RemoteSeqFaultClient() {
+  provider_->forgetInstantiation(recoveryToken_);
 }
 
 std::vector<std::string> RemoteSeqFaultClient::faultList() {

@@ -31,14 +31,36 @@ namespace vcad::ip {
 
 enum class RemoteMode { EstimatorRemote, FullyRemote };
 
+/// What a session must remember to survive a provider restart: the ordered
+/// list of live instantiations. Recovery replays it against a fresh session
+/// (re-`Instantiate`), rebinding each holder to its new instance id.
+struct SessionManifest {
+  struct Entry {
+    std::string component;
+    std::uint64_t param = 0;
+    rmi::InstanceId instance = 0;  // current (post-recovery) id
+  };
+  std::vector<Entry> entries;
+};
+
 /// The user's live connection to one provider: channel + open session.
 /// (The "JavaCADServer provider = new JavaCADServer(host)" analog.)
+///
+/// The handle is the client's recovery point for an unreliable channel: it
+/// records a session manifest of every instantiation, and when a call comes
+/// back UnknownSession (provider restarted) it reopens a session, replays
+/// the manifest and retries — so a long fault campaign survives a mid-run
+/// provider restart. A TransportFailure (retries exhausted) is retried with
+/// the *same* idempotency key, so work the provider already completed and
+/// billed is answered from its replay cache, never executed twice.
 class ProviderHandle {
  public:
   explicit ProviderHandle(rmi::RmiChannel& channel);
 
   rmi::RmiChannel& channel() { return *channel_; }
-  rmi::SessionId session() const { return session_; }
+  rmi::SessionId session() const {
+    return session_.load(std::memory_order_acquire);
+  }
 
   rmi::Response call(rmi::MethodId method, rmi::InstanceId instance,
                      rmi::Args args, const std::string& component = "");
@@ -49,9 +71,57 @@ class ProviderHandle {
   /// Fetches and deserializes the provider's catalog.
   std::vector<IpComponentSpec> catalog();
 
+  // --- session recovery ---------------------------------------------------
+
+  /// Blocking calls transparently recover from UnknownSession /
+  /// TransportFailure (default on). Async calls never auto-recover.
+  void setAutoRecover(bool on) { autoRecover_ = on; }
+
+  /// Registers a live instantiation in the session manifest. `rebind` is
+  /// invoked with the new instance id after each recovery (under the
+  /// recovery lock — it must not call back into the handle); the holder must
+  /// outlive the handle or call forgetInstantiation first.
+  using RecoveryToken = std::size_t;
+  static constexpr RecoveryToken kNoRecoveryToken =
+      static_cast<RecoveryToken>(-1);
+  RecoveryToken recordInstantiation(std::string component, std::uint64_t param,
+                                    rmi::InstanceId instance,
+                                    std::function<void(rmi::InstanceId)> rebind);
+  void forgetInstantiation(RecoveryToken token);
+
+  /// Probes the session and, if it is gone, reopens one and replays the
+  /// manifest. Safe to call concurrently (one recovery wins, the rest
+  /// observe it). Returns false when the provider cannot be reached or a
+  /// manifest entry fails to re-instantiate.
+  bool recover();
+
+  /// Completed session recoveries (0 on an undisturbed run).
+  std::uint64_t recoveries() const {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the live manifest (for inspection/tests).
+  SessionManifest manifest() const;
+
  private:
+  struct RecoveryEntry {
+    SessionManifest::Entry entry;
+    std::function<void(rmi::InstanceId)> rebind;
+    bool active = false;
+  };
+
+  rmi::Response callRaw(rmi::MethodId method, rmi::SessionId session,
+                        rmi::InstanceId instance, rmi::Args args,
+                        const std::string& component, std::uint64_t key);
+  rmi::InstanceId currentInstance(rmi::InstanceId instance) const;
+
   rmi::RmiChannel* channel_;
-  rmi::SessionId session_ = 0;
+  std::atomic<rmi::SessionId> session_{0};
+  bool autoRecover_ = true;
+  std::atomic<std::uint64_t> recoveries_{0};
+  mutable std::mutex recoveryMutex_;  // guards entries_ and remap_
+  std::vector<RecoveryEntry> entries_;
+  std::map<rmi::InstanceId, rmi::InstanceId> remap_;  // old id -> current id
 };
 
 struct RemoteConfig {
@@ -74,6 +144,7 @@ class RemoteComponent : public Module {
                   std::vector<std::pair<std::string, Connector*>> inputs,
                   std::vector<std::pair<std::string, Connector*>> outputs,
                   Config config = {}, const rmi::Sandbox* sandbox = nullptr);
+  ~RemoteComponent() override;
 
   /// Input events arriving within one simulation instant are coalesced: the
   /// component defers its (possibly remote) evaluation with a zero-delay
@@ -87,7 +158,9 @@ class RemoteComponent : public Module {
   /// estimate collected so far (mW), or nullopt when none was gathered.
   std::optional<double> finishPowerEstimation(const SimContext& ctx);
 
-  rmi::InstanceId instanceId() const { return instance_; }
+  rmi::InstanceId instanceId() const {
+    return instance_.load(std::memory_order_acquire);
+  }
   RemoteMode mode() const { return config_.mode; }
   const Config& config() const { return config_; }
   ProviderHandle& provider() { return *provider_; }
@@ -112,7 +185,11 @@ class RemoteComponent : public Module {
 
   ProviderHandle* provider_;
   Config config_;
-  rmi::InstanceId instance_ = 0;
+  /// Atomic because session recovery rebinds it from whichever thread hit
+  /// the dead session while non-blocking estimation threads may be reading.
+  std::atomic<rmi::InstanceId> instance_{0};
+  ProviderHandle::RecoveryToken recoveryToken_ =
+      ProviderHandle::kNoRecoveryToken;
   PublicPart publicPart_;
   rmi::Sandbox defaultSandbox_;
   const rmi::Sandbox* sandbox_;
@@ -152,6 +229,7 @@ class RemoteSeqFaultClient final : public fault::SeqFaultClient {
  public:
   RemoteSeqFaultClient(ProviderHandle& provider,
                        const std::string& componentName, std::uint64_t param);
+  ~RemoteSeqFaultClient() override;
 
   std::vector<std::string> faultList() override;
   void resetGood() override;
@@ -159,14 +237,18 @@ class RemoteSeqFaultClient final : public fault::SeqFaultClient {
   void resetFaulty(const std::string& symbol) override;
   Word stepFaulty(const std::string& symbol, const Word& inputs) override;
 
-  rmi::InstanceId instanceId() const { return instance_; }
+  rmi::InstanceId instanceId() const {
+    return instance_.load(std::memory_order_acquire);
+  }
 
  private:
   void reset(const std::string& symbol);
   Word step(const std::string& symbol, const Word& inputs);
 
   ProviderHandle* provider_;
-  rmi::InstanceId instance_ = 0;
+  std::atomic<rmi::InstanceId> instance_{0};
+  ProviderHandle::RecoveryToken recoveryToken_ =
+      ProviderHandle::kNoRecoveryToken;
 };
 
 /// Estimator that forwards to the provider's dynamic power model, shipping

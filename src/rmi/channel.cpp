@@ -1,15 +1,36 @@
 #include "rmi/channel.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+
+#include "core/rng.hpp"
 
 namespace vcad::rmi {
+
+double RetryPolicy::backoffSec(std::uint64_t key, int attempt) const {
+  // Exponential from the first retransmission (attempt 2 pays the base),
+  // capped, with jitter drawn from a generator seeded by (key, attempt) so
+  // the delay is reproducible and independent of thread interleaving.
+  const int step = attempt < 2 ? 0 : attempt - 2;
+  double delay =
+      std::min(backoffBaseSec * std::pow(2.0, static_cast<double>(step)),
+               backoffMaxSec);
+  if (backoffJitter > 0.0) {
+    Rng rng(key * 0x9e3779b97f4a7c15ULL +
+            static_cast<std::uint64_t>(attempt) * 0xbf58476d1ce4e5b9ULL);
+    delay *= 1.0 + rng.uniform(-backoffJitter, backoffJitter);
+  }
+  return delay;
+}
 
 RmiChannel::RmiChannel(ServerEndpoint& server, net::NetworkProfile profile,
                        LogSink* audit, std::uint64_t seed)
     : server_(server),
       model_(std::move(profile), seed),
       filter_(audit),
-      audit_(audit) {}
+      audit_(audit),
+      keySalt_(seed) {}
 
 Response RmiChannel::call(const Request& request) {
   return transact(request, /*blocking=*/true);
@@ -21,8 +42,145 @@ std::future<Response> RmiChannel::callAsync(Request request) {
   });
 }
 
+std::uint64_t RmiChannel::stampKey() {
+  const std::uint64_t n = nextKey_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t z = keySalt_ + 0x9e3779b97f4a7c15ULL * n;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 means "unassigned" on the wire
+}
+
+RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
+                                            const Request& request,
+                                            std::uint32_t attempt) {
+  Attempt a;
+  const net::FaultPlan plan =
+      transport_ != nullptr
+          ? transport_->plan(request.idempotencyKey, attempt)
+          : net::FaultPlan{};
+  const auto timeout = [&](bool corrupted) {
+    a.timedOut = true;
+    a.corruptedFrame = corrupted;
+    // The deadline dominates whatever partial delays accrued: the client
+    // waited exactly `timeoutSec` before giving up on this attempt.
+    a.wallSec = policy_.timeoutSec;
+    a.networkSec = policy_.timeoutSec;
+  };
+
+  // --- request leg -------------------------------------------------------
+  std::vector<std::uint8_t> frame = wire.bytes();
+  net::sealFrame(frame);
+  a.bytesSent = frame.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    a.networkSec += model_.messageDelaySec(frame.size());
+  }
+  a.wallSec = a.networkSec;
+
+  if (plan.dropRequest) {
+    timeout(false);
+    return a;
+  }
+  if (plan.corruptRequest) {
+    transport_->corrupt(frame, request.idempotencyKey, attempt, 0);
+  }
+
+  // --- server-side receive: checksum, then bounds-checked unmarshal ------
+  std::vector<std::uint8_t> arrived = frame;
+  Request onServer;
+  bool frameOk = net::openFrame(arrived);
+  if (frameOk) {
+    try {
+      net::ByteBuffer b(std::move(arrived));
+      onServer = Request::unmarshal(b);
+    } catch (const std::exception&) {
+      frameOk = false;  // defense in depth: a colliding checksum still must
+                        // not crash the server
+    }
+  }
+  if (!frameOk) {
+    // The server discards the damaged frame; the client learns nothing
+    // until its deadline fires.
+    timeout(true);
+    return a;
+  }
+
+  // --- dispatch (serialized per channel; compute measured with a
+  // high-resolution monotonic clock). A duplicated request reaches the
+  // endpoint twice back to back; a replay-caching provider answers the
+  // second copy without re-executing. -------------------------------------
+  Response response;
+  double serverCpu = 0.0;
+  {
+    std::lock_guard<std::mutex> dispatchLock(dispatchMutex_);
+    const auto serverStart = std::chrono::steady_clock::now();
+    response = server_.dispatch(onServer);
+    if (plan.duplicateRequest) {
+      std::vector<std::uint8_t> again = frame;
+      net::openFrame(again);  // same bytes: cannot fail
+      net::ByteBuffer b(std::move(again));
+      const Response second = server_.dispatch(Request::unmarshal(b));
+      if (second.replayed) ++a.duplicatesSuppressed;
+    }
+    serverCpu = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              serverStart)
+                    .count();
+  }
+  a.serverCpuSec = serverCpu;
+  a.wallSec += model_.serverComputeWallSec(serverCpu);
+
+  // --- response leg ------------------------------------------------------
+  if (plan.dropResponse) {
+    timeout(false);
+    return a;
+  }
+  // Transport-injected delays (provider stall, overtaken/stale delivery)
+  // count against the deadline; measured compute and modelled wire time do
+  // not, so retry behaviour stays bit-reproducible from the seeds.
+  const double injectedDelay = plan.stallSec + plan.reorderDelaySec;
+  if (injectedDelay >= policy_.timeoutSec) {
+    timeout(false);
+    return a;
+  }
+  std::vector<std::uint8_t> respFrame = response.marshal().bytes();
+  net::sealFrame(respFrame);
+  if (plan.corruptResponse) {
+    transport_->corrupt(respFrame, request.idempotencyKey, attempt, 1);
+  }
+  a.bytesReceived = respFrame.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double d = model_.messageDelaySec(respFrame.size());
+    a.networkSec += d;
+    a.wallSec += d;
+  }
+  a.networkSec += injectedDelay;
+  a.wallSec += injectedDelay;
+
+  bool respOk = net::openFrame(respFrame);
+  if (respOk) {
+    try {
+      net::ByteBuffer b(std::move(respFrame));
+      a.response = Response::unmarshal(b);
+    } catch (const std::exception&) {
+      respOk = false;
+    }
+  }
+  if (!respOk) {
+    // Damaged response frame: discarded, and the retransmit the client is
+    // hoping for never comes — deadline fires.
+    timeout(true);
+    return a;
+  }
+  if (a.response.replayed) ++a.duplicatesSuppressed;
+  a.delivered = true;
+  return a;
+}
+
 Response RmiChannel::transact(const Request& request, bool blocking) {
-  // 1. Security: inspect exactly what would go on the wire.
+  // 1. Security: inspect exactly what would go on the wire. Rejections never
+  // generate traffic, so they bypass the retry machinery entirely.
   if (!filter_.admit(request)) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.calls;
@@ -32,66 +190,102 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
         "marshalling filter rejected non-port design information");
   }
 
-  // 2. Marshal and ship the request.
-  net::ByteBuffer wire = request.marshal();
-  const std::size_t sentBytes = wire.size();
-  double wallSec = 0.0;
+  // 2. Stamp the logical call with its idempotency key and marshal once;
+  // every retransmission ships byte-identical content.
+  Request req = request;
+  if (req.idempotencyKey == 0) req.idempotencyKey = stampKey();
+  const net::ByteBuffer wire = req.marshal();
+
+  // 3. Attempt loop: transmit, and on a deadline miss back off and retry
+  // until the budget is spent. A key that already exhausted a budget (the
+  // caller is re-issuing a TransportFailure) resumes at the next attempt
+  // index, so the deterministic fault schedule moves forward instead of
+  // replaying the plans that killed the previous round.
+  std::uint32_t attemptBase = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    wallSec += model_.messageDelaySec(sentBytes);
+    auto spent = spentAttempts_.find(req.idempotencyKey);
+    if (spent != spentAttempts_.end()) attemptBase = spent->second;
+  }
+  Attempt sum;
+  std::uint64_t timeouts = 0;
+  std::uint64_t corruptedFrames = 0;
+  std::uint64_t retries = 0;
+  bool delivered = false;
+  Response finalResponse;
+  for (int attempt = 1; attempt <= policy_.maxAttempts; ++attempt) {
+    const std::uint32_t absAttempt =
+        attemptBase + static_cast<std::uint32_t>(attempt);
+    if (absAttempt > 1) {
+      // A resumed key's first transmission is still a retransmission of the
+      // logical call, so it counts toward `retries` like any other.
+      ++retries;
+      const double backoff = policy_.backoffSec(
+          req.idempotencyKey, static_cast<int>(absAttempt));
+      sum.wallSec += backoff;
+      sum.networkSec += backoff;
+    }
+    Attempt a = attemptOnce(wire, req, absAttempt);
+    sum.wallSec += a.wallSec;
+    sum.networkSec += a.networkSec;
+    sum.bytesSent += a.bytesSent;
+    sum.bytesReceived += a.bytesReceived;
+    sum.serverCpuSec += a.serverCpuSec;
+    sum.duplicatesSuppressed += a.duplicatesSuppressed;
+    if (a.timedOut) ++timeouts;
+    if (a.corruptedFrame) ++corruptedFrames;
+    if (a.delivered) {
+      delivered = true;
+      finalResponse = std::move(a.response);
+      break;
+    }
+  }
+  if (!delivered) {
+    finalResponse = Response::failure(
+        Status::TransportFailure,
+        "no response after " + std::to_string(policy_.maxAttempts) +
+            " attempts (" + toString(req.method) + ")");
   }
 
-  // 3. Server executes; measure its compute time with a high-resolution
-  // monotonic clock (the dispatch never blocks, so wall time == compute
-  // time, and this avoids the coarse granularity of kernel CPU accounting).
-  // Dispatch is serialized per channel: concurrent callAsync threads must
-  // not race on provider-side state (fee accounting, session tables).
-  Request onServer = Request::unmarshal(wire);
-  double serverCpu = 0.0;
-  Response response;
-  {
-    std::lock_guard<std::mutex> dispatchLock(dispatchMutex_);
-    const auto serverStart = std::chrono::steady_clock::now();
-    response = server_.dispatch(onServer);
-    serverCpu = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              serverStart)
-                    .count();
-  }
-  wallSec += model_.serverComputeWallSec(serverCpu);
-
-  // 4. Marshal and ship the response.
-  net::ByteBuffer back = response.marshal();
-  const std::size_t recvBytes = back.size();
+  // 4. Account.
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    wallSec += model_.messageDelaySec(recvBytes);
-  }
-  Response onClient = Response::unmarshal(back);
-
-  // 5. Account.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
+    if (delivered) {
+      spentAttempts_.erase(req.idempotencyKey);
+    } else {
+      spentAttempts_[req.idempotencyKey] =
+          attemptBase + static_cast<std::uint32_t>(policy_.maxAttempts);
+    }
     ++stats_.calls;
     if (blocking) {
       ++stats_.blockedCalls;
-      stats_.blockingWallSec += wallSec;
+      stats_.blockingWallSec += sum.wallSec;
     } else {
       ++stats_.asyncCalls;
-      stats_.nonblockingWallSec += wallSec;
-      if (wallSec > stats_.maxNonblockingCallSec) {
-        stats_.maxNonblockingCallSec = wallSec;
+      stats_.nonblockingWallSec += sum.wallSec;
+      if (sum.wallSec > stats_.maxNonblockingCallSec) {
+        stats_.maxNonblockingCallSec = sum.wallSec;
       }
     }
-    stats_.bytesSent += sentBytes;
-    stats_.bytesReceived += recvBytes;
-    stats_.serverCpuSec += serverCpu;
-    stats_.feesCents += onClient.feeCents;
+    stats_.bytesSent += sum.bytesSent;
+    stats_.bytesReceived += sum.bytesReceived;
+    stats_.serverCpuSec += sum.serverCpuSec;
+    stats_.networkSec += sum.networkSec;
+    stats_.retries += retries;
+    stats_.timeouts += timeouts;
+    stats_.duplicatesSuppressed += sum.duplicatesSuppressed;
+    stats_.corruptedFramesDropped += corruptedFrames;
+    if (!delivered) ++stats_.transportFailures;
+    // Fees only from a delivered response; replayed responses carry the fee
+    // of the original execution, charged server-side exactly once.
+    if (delivered) stats_.feesCents += finalResponse.feeCents;
   }
-  if (audit_ != nullptr && !onClient.ok()) {
+  if (audit_ != nullptr && !finalResponse.ok()) {
     audit_->warning("RMI " + toString(request.method) + " failed: " +
-                    toString(onClient.status) + " (" + onClient.error + ")");
+                    toString(finalResponse.status) + " (" +
+                    finalResponse.error + ")");
   }
-  return onClient;
+  return finalResponse;
 }
 
 }  // namespace vcad::rmi

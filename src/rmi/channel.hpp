@@ -19,11 +19,14 @@
 // implementations need no internal locking of their own.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 
 #include "core/log.hpp"
+#include "net/faulty_transport.hpp"
 #include "net/network.hpp"
 #include "rmi/protocol.hpp"
 #include "rmi/security.hpp"
@@ -36,6 +39,23 @@ class ServerEndpoint {
   virtual ~ServerEndpoint() = default;
   virtual Response dispatch(const Request& request) = 0;
   virtual std::string hostName() const = 0;
+};
+
+/// How the channel survives an unreliable transport: per-attempt response
+/// deadline, capped exponential backoff with deterministic jitter, and a
+/// bounded attempt budget after which the call is declared a
+/// TransportFailure (triggering session recovery upstream).
+struct RetryPolicy {
+  int maxAttempts = 5;            // transmissions per logical call
+  double timeoutSec = 0.25;       // per-attempt response deadline (simulated)
+  double backoffBaseSec = 0.02;   // first retry delay
+  double backoffMaxSec = 0.5;     // backoff cap
+  double backoffJitter = 0.25;    // uniform +/- fraction, derived from the
+                                  // request's idempotency key (deterministic)
+
+  /// Backoff charged before retransmission number `attempt` (2-based: the
+  /// first retransmission is attempt 2). Pure function of (key, attempt).
+  double backoffSec(std::uint64_t key, int attempt) const;
 };
 
 struct ChannelStats {
@@ -53,6 +73,21 @@ struct ChannelStats {
                                        // fully-parallel latency lower bound)
   double serverCpuSec = 0.0;        // measured provider compute
   double feesCents = 0.0;           // accumulated provider fees
+
+  // --- unreliable-transport accounting ----------------------------------
+  std::uint64_t retries = 0;   // retransmissions (attempts beyond the first)
+  std::uint64_t timeouts = 0;  // attempts that hit the response deadline
+                               // (dropped/stalled/stale/corrupted exchanges)
+  std::uint64_t duplicatesSuppressed = 0;  // replay-cache answers observed:
+                                           // duplicates and retried
+                                           // non-idempotent calls the
+                                           // provider refused to re-execute
+  std::uint64_t corruptedFramesDropped = 0;  // checksum-rejected frames
+  std::uint64_t transportFailures = 0;  // calls declared dead after the
+                                        // attempt budget
+  double networkSec = 0.0;  // deterministic transport time only: wire
+                            // delays + timeouts + backoff, NO server compute
+                            // (bit-reproducible from the channel seed)
 };
 
 class RmiChannel {
@@ -67,6 +102,24 @@ class RmiChannel {
   /// lands on the overlap account instead of the blocking clock.
   std::future<Response> callAsync(Request request);
 
+  /// Routes every exchange through a fault-injecting transport (chaos
+  /// testing). The transport must outlive the channel; nullptr restores the
+  /// ideal exactly-once delivery. Not thread-safe against in-flight calls —
+  /// install before traffic starts.
+  void setTransport(net::FaultyTransport* transport) { transport_ = transport; }
+  net::FaultyTransport* transport() const { return transport_; }
+
+  void setRetryPolicy(RetryPolicy policy) { policy_ = policy; }
+  const RetryPolicy& retryPolicy() const { return policy_; }
+
+  /// Mints a fresh idempotency key (same generator `call` uses to stamp
+  /// unkeyed requests). A caller that re-issues a failed logical call with
+  /// the SAME key is recognized by the provider's replay cache, and the
+  /// channel resumes the key's attempt numbering where the failed call left
+  /// off — under a deterministic fault schedule a verbatim re-run would
+  /// otherwise replay the exact faults that killed it.
+  std::uint64_t makeKey() { return stampKey(); }
+
   const ChannelStats& stats() const { return stats_; }
   void resetStats() { stats_ = ChannelStats{}; }
 
@@ -78,12 +131,41 @@ class RmiChannel {
   ServerEndpoint& server() { return server_; }
 
  private:
+  struct Attempt {
+    bool delivered = false;  // a valid response made it back
+    Response response;
+    std::size_t bytesSent = 0;
+    std::size_t bytesReceived = 0;
+    double wallSec = 0.0;     // total client wait for this attempt
+    double networkSec = 0.0;  // deterministic share of wallSec
+    double serverCpuSec = 0.0;
+    std::uint64_t duplicatesSuppressed = 0;
+    bool timedOut = false;
+    bool corruptedFrame = false;
+  };
+
   Response transact(const Request& request, bool blocking);
+  /// One transmission attempt: ships the frame, dispatches (possibly twice,
+  /// when the transport duplicates), and collects the response — or times
+  /// out per the fault plan.
+  Attempt attemptOnce(const net::ByteBuffer& wire, const Request& request,
+                      std::uint32_t attempt);
+  std::uint64_t stampKey();
 
   ServerEndpoint& server_;
   net::NetworkModel model_;
   MarshalFilter filter_;
   LogSink* audit_;
+  net::FaultyTransport* transport_ = nullptr;
+  RetryPolicy policy_;
+  std::uint64_t keySalt_;
+  std::atomic<std::uint64_t> nextKey_{1};
+  /// Attempt numbers already burned per idempotency key, kept only for keys
+  /// whose call was declared a TransportFailure: a re-issue of that key
+  /// continues at the next attempt index instead of replaying the fault
+  /// plans that exhausted the budget. Erased on delivery, so the map stays
+  /// bounded by the number of currently-dead logical calls.
+  std::map<std::uint64_t, std::uint32_t> spentAttempts_;
   std::mutex mutex_;  // serializes stats/model updates across async calls
   std::mutex dispatchMutex_;  // serializes server dispatch: callAsync spawns
                               // concurrent threads, but provider-side state

@@ -38,6 +38,30 @@ std::string toString(MethodId m) {
   return "?";
 }
 
+bool isNonIdempotent(MethodId m) {
+  switch (m) {
+    case MethodId::Instantiate:     // creates an instance + charges a fee
+    case MethodId::EvalFunction:    // charges per eval; records the pattern
+                                    // in the server-side history (FullyRemote
+                                    // buffering)
+    case MethodId::EstimatePower:   // bills per pattern in the batch
+    case MethodId::EstimateTiming:  // per-query fee
+    case MethodId::EstimateArea:    // per-query fee
+    case MethodId::GetDetectionTable:   // per-table fee
+    case MethodId::GetDetectionTables:  // per-table fee x batch
+    case MethodId::SeqReset:  // mutates the shadow-machine state
+    case MethodId::SeqStep:   // clocks the machine + charges per eval
+      return true;
+    case MethodId::OpenSession:  // deduplicated separately (no session yet)
+    case MethodId::CloseSession:
+    case MethodId::GetCatalog:
+    case MethodId::GetFaultList:
+    case MethodId::Negotiate:
+      return false;
+  }
+  return false;
+}
+
 std::string toString(Status s) {
   switch (s) {
     case Status::Ok:
@@ -50,6 +74,10 @@ std::string toString(Status s) {
       return "NotFound";
     case Status::PaymentRequired:
       return "PaymentRequired";
+    case Status::UnknownSession:
+      return "UnknownSession";
+    case Status::TransportFailure:
+      return "TransportFailure";
   }
   return "?";
 }
@@ -133,6 +161,7 @@ net::ByteBuffer Request::marshal() const {
   out.writeU64(session);
   out.writeU64(instance);
   out.writeU32(static_cast<std::uint32_t>(method));
+  out.writeU64(idempotencyKey);
   out.writeString(component);
   out.writeBytes(args.buffer().bytes());
   return out;
@@ -143,6 +172,7 @@ Request Request::unmarshal(net::ByteBuffer& buf) {
   r.session = buf.readU64();
   r.instance = buf.readU64();
   r.method = static_cast<MethodId>(buf.readU32());
+  r.idempotencyKey = buf.readU64();
   r.component = buf.readString();
   r.args = Args(net::ByteBuffer(buf.readBytes()));
   return r;
@@ -151,6 +181,7 @@ Request Request::unmarshal(net::ByteBuffer& buf) {
 net::ByteBuffer Response::marshal() const {
   net::ByteBuffer out;
   out.writeU8(static_cast<std::uint8_t>(status));
+  out.writeBool(replayed);
   out.writeString(error);
   out.writeDouble(feeCents);
   out.writeBytes(payload.bytes());
@@ -160,6 +191,7 @@ net::ByteBuffer Response::marshal() const {
 Response Response::unmarshal(net::ByteBuffer& buf) {
   Response r;
   r.status = static_cast<Status>(buf.readU8());
+  r.replayed = buf.readBool();
   r.error = buf.readString();
   r.feeCents = buf.readDouble();
   r.payload = net::ByteBuffer(buf.readBytes());

@@ -91,6 +91,12 @@ struct Request {
   SessionId session = 0;
   InstanceId instance = 0;
   MethodId method = MethodId::OpenSession;
+  /// Unique id of the *logical* call, shared by every retransmission of it.
+  /// The provider's replay cache keys on this, so a retried non-idempotent
+  /// method (Instantiate, EvalFunction, EstimatePower, ...) is answered from
+  /// the cache instead of executing — and billing — twice. 0 = unassigned
+  /// (the channel stamps one before the request ships).
+  std::uint64_t idempotencyKey = 0;
   std::string component;  // for Instantiate / GetCatalog
   Args args;
 
@@ -98,12 +104,20 @@ struct Request {
   static Request unmarshal(net::ByteBuffer& buf);
 };
 
+/// True for methods whose re-execution is observable (server-side state
+/// mutation or fee charge); these are the methods the provider deduplicates
+/// by idempotency key. Pure queries (GetCatalog, GetFaultList, Negotiate,
+/// session management) are safe to replay.
+bool isNonIdempotent(MethodId m);
+
 enum class Status : std::uint8_t {
   Ok = 0,
   Error,
   SecurityViolation,
   NotFound,
   PaymentRequired,
+  UnknownSession,    // session lost (e.g. provider restart) — recoverable
+  TransportFailure,  // client-side: retries exhausted, channel declared dead
 };
 
 std::string toString(Status s);
@@ -113,6 +127,10 @@ struct Response {
   std::string error;
   net::ByteBuffer payload;
   double feeCents = 0.0;  // charged by this call (provider accounting)
+  /// Set by the provider when this response was served from the replay
+  /// cache (the original execution already charged any fee, which this
+  /// response still reports so the client's ledger converges).
+  bool replayed = false;
 
   bool ok() const { return status == Status::Ok; }
 

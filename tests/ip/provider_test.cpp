@@ -96,7 +96,7 @@ TEST(ProviderServer, UnknownComponentAndSession) {
   rmi::Request alien;
   alien.session = 999999;
   alien.method = MethodId::GetCatalog;
-  EXPECT_EQ(f.channel.call(alien).status, rmi::Status::Error);
+  EXPECT_EQ(f.channel.call(alien).status, rmi::Status::UnknownSession);
 }
 
 TEST(ProviderServer, InstancesArePrivateToTheirSession) {
@@ -285,6 +285,130 @@ TEST(ProviderServer, FaultInterfaceServesListAndTables) {
   const auto table = fault::DetectionTable::deserialize(dtResp.payload);
   EXPECT_EQ(table.inputs().toUint(), 0b110101u);
   EXPECT_GT(table.rows().size(), 0u);
+}
+
+// --- idempotency keys, replay cache, restart and session recovery --------
+
+TEST(ProviderServer, RetransmittedNonIdempotentCallIsAnsweredFromReplayCache) {
+  Fixture f;
+  ProviderHandle handle(f.channel);
+  rmi::Args args;
+  args.addU64(3);
+  auto resp =
+      handle.call(MethodId::Instantiate, 0, std::move(args), "MultFastLowPower");
+  const rmi::InstanceId id = resp.payload.readU64();
+
+  // Same request, same idempotency key, sent twice — the retransmission a
+  // retrying channel produces when the first response was lost.
+  rmi::Request req;
+  req.session = handle.session();
+  req.instance = id;
+  req.method = MethodId::GetDetectionTable;
+  req.args.addWord(Word::fromUint(6, 0b101100));
+  req.idempotencyKey = f.channel.makeKey();
+
+  auto first = f.channel.call(req);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.replayed);
+  auto again = f.channel.call(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.replayed);
+
+  // Byte-identical answer, and the work was billed exactly once.
+  EXPECT_EQ(first.payload.bytes(), again.payload.bytes());
+  EXPECT_DOUBLE_EQ(again.feeCents, first.feeCents);
+  EXPECT_DOUBLE_EQ(f.server.sessionFeesCents(handle.session()), 0.05);
+}
+
+TEST(ProviderServer, RetransmittedInstantiateNeverCreatesASecondInstance) {
+  Fixture f;
+  ProviderHandle handle(f.channel);
+  rmi::Request req;
+  req.session = handle.session();
+  req.method = MethodId::Instantiate;
+  req.component = "MultFastLowPower";
+  req.args.addU64(4);
+  req.idempotencyKey = f.channel.makeKey();
+
+  auto first = f.channel.call(req);
+  ASSERT_TRUE(first.ok());
+  const rmi::InstanceId id = first.payload.readU64();
+  auto again = f.channel.call(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.replayed);
+  EXPECT_EQ(again.payload.readU64(), id);
+  EXPECT_EQ(f.server.liveInstanceCount(), 1u);
+}
+
+TEST(ProviderServer, OpenSessionIsDeduplicatedByKey) {
+  Fixture f;
+  rmi::Request open;
+  open.method = MethodId::OpenSession;
+  open.idempotencyKey = f.channel.makeKey();
+  auto first = f.channel.call(open);
+  ASSERT_TRUE(first.ok());
+  auto again = f.channel.call(open);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.replayed);
+  // A duplicated OpenSession must not leak a second orphan session.
+  EXPECT_EQ(again.payload.readU64(), first.payload.readU64());
+}
+
+TEST(ProviderServer, RestartForgetsSessionsButNeverReissuesIds) {
+  Fixture f;
+  ProviderHandle handle(f.channel);
+  handle.setAutoRecover(false);
+  rmi::Args args;
+  args.addU64(4);
+  auto resp =
+      handle.call(MethodId::Instantiate, 0, std::move(args), "MultFastLowPower");
+  const rmi::InstanceId id = resp.payload.readU64();
+  const rmi::SessionId oldSession = handle.session();
+
+  f.server.restart();
+  EXPECT_EQ(f.server.liveInstanceCount(), 0u);
+  EXPECT_EQ(handle.call(MethodId::GetFaultList, id, rmi::Args{}).status,
+            rmi::Status::UnknownSession);
+
+  // Post-restart ids continue monotonically: a client holding a stale id
+  // must get UnknownSession/NotFound, never a stranger's fresh instance.
+  ProviderHandle fresh(f.channel);
+  EXPECT_NE(fresh.session(), oldSession);
+  rmi::Args args2;
+  args2.addU64(4);
+  auto resp2 = fresh.call(MethodId::Instantiate, 0, std::move(args2),
+                          "MultFastLowPower");
+  ASSERT_TRUE(resp2.ok());
+  EXPECT_GT(resp2.payload.readU64(), id);
+}
+
+TEST(ProviderServer, HandleRecoversSessionAndRebindsInstances) {
+  Fixture f;
+  ProviderHandle handle(f.channel);
+  rmi::Args args;
+  args.addU64(4);
+  auto resp =
+      handle.call(MethodId::Instantiate, 0, std::move(args), "MultFastLowPower");
+  const rmi::InstanceId id = resp.payload.readU64();
+  rmi::InstanceId rebound = 0;
+  handle.recordInstantiation("MultFastLowPower", 4, id,
+                             [&](rmi::InstanceId fresh) { rebound = fresh; });
+
+  f.server.restart();
+
+  // The next call through the handle hits UnknownSession, recovers the
+  // session from the manifest, and transparently retries on the new ids.
+  rmi::Args ev;
+  ev.addWord(Word::fromUint(8, 0x21));
+  auto evResp = handle.call(MethodId::EvalFunction, id, std::move(ev));
+  ASSERT_TRUE(evResp.ok());
+  EXPECT_EQ(handle.recoveries(), 1u);
+  EXPECT_NE(rebound, 0u);
+  EXPECT_NE(rebound, id);
+  EXPECT_EQ(f.server.liveInstanceCount(), 1u);
+  const SessionManifest m = handle.manifest();
+  ASSERT_EQ(m.entries.size(), 1u);
+  EXPECT_EQ(m.entries[0].instance, rebound);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace vcad::rmi {
@@ -148,6 +150,165 @@ TEST(RmiChannel, ServerCpuIsMeasured) {
   RmiChannel ch(busy, net::NetworkProfile::ideal());
   ch.call(echoRequest(1));
   EXPECT_GT(ch.stats().serverCpuSec, 0.0);
+}
+
+// --- unreliable transport: retry, timeout and idempotency-key behaviour ---
+
+TEST(RmiChannelRetry, DropProfileRetriesUntilEveryCallDelivers) {
+  EchoServer server;
+  net::FaultyTransport transport(net::FaultProfile::drop(), 0xD00D);
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  ch.setTransport(&transport);
+  constexpr std::uint64_t kLogicalCalls = 20;
+  for (std::uint64_t i = 0; i < kLogicalCalls; ++i) {
+    // The caller contract for an exhausted budget: re-issue with the SAME
+    // key, so the attempt schedule resumes instead of replaying.
+    Request req = echoRequest(i);
+    req.idempotencyKey = ch.makeKey();
+    Response resp = ch.call(req);
+    for (int round = 0; !resp.ok() && round < 4; ++round) resp = ch.call(req);
+    ASSERT_TRUE(resp.ok()) << i;
+  }
+  const ChannelStats& s = ch.stats();
+  EXPECT_GT(s.retries, 0u);
+  EXPECT_GT(s.timeouts, 0u);
+  // Every logical call eventually delivered, so transmissions = logical
+  // calls + retries and also = deliveries + timeouts: the counters balance.
+  EXPECT_EQ(s.retries, s.timeouts);
+  EXPECT_EQ(s.calls, kLogicalCalls + s.transportFailures);
+}
+
+TEST(RmiChannelRetry, ExhaustedBudgetIsDeclaredTransportFailure) {
+  EchoServer server;
+  net::FaultProfile blackHole;
+  blackHole.name = "black-hole";
+  blackHole.dropRequestProb = 1.0;
+  net::FaultyTransport transport(blackHole, 1);
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  ch.setTransport(&transport);
+  Response resp = ch.call(echoRequest(1));
+  EXPECT_EQ(resp.status, Status::TransportFailure);
+  EXPECT_EQ(server.dispatched, 0);  // nothing ever arrived
+  const ChannelStats& s = ch.stats();
+  EXPECT_EQ(s.calls, 1u);
+  EXPECT_EQ(s.timeouts, static_cast<std::uint64_t>(ch.retryPolicy().maxAttempts));
+  EXPECT_EQ(s.retries, static_cast<std::uint64_t>(ch.retryPolicy().maxAttempts - 1));
+  EXPECT_EQ(s.transportFailures, 1u);
+  EXPECT_DOUBLE_EQ(s.feesCents, 0.0);  // no delivery, no fee
+}
+
+TEST(RmiChannelRetry, ReissuedKeyResumesTheAttemptSchedule) {
+  // The fault plan is a pure function of (seed, key, attempt): if a re-issue
+  // of a failed key restarted at attempt 1, it would replay the exact drops
+  // that killed it, forever. Find a key whose first attempt is faulted but
+  // whose second is clean, cap the budget at one attempt, and verify the
+  // second issue of the same key continues at attempt 2 — and succeeds.
+  net::FaultyTransport transport(net::FaultProfile::drop(), 0xFACE);
+  std::uint64_t key = 0;
+  for (std::uint64_t k = 1; k < 4096; ++k) {
+    const net::FaultPlan first = transport.peek(k, 1);
+    if ((first.dropRequest || first.dropResponse) &&
+        transport.peek(k, 2).clean()) {
+      key = k;
+      break;
+    }
+  }
+  ASSERT_NE(key, 0u) << "no suitable key below 4096 for this seed";
+
+  EchoServer server;
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  ch.setTransport(&transport);
+  RetryPolicy oneShot;
+  oneShot.maxAttempts = 1;
+  ch.setRetryPolicy(oneShot);
+
+  Request req = echoRequest(0xAB);
+  req.idempotencyKey = key;
+  EXPECT_EQ(ch.call(req).status, Status::TransportFailure);
+  Response second = ch.call(req);  // same key: resumes at attempt 2
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.payload.readWord().toUint(), 0xABu);
+  // The resumed transmission counts as the retransmission it is.
+  EXPECT_EQ(ch.stats().retries, 1u);
+  EXPECT_EQ(ch.stats().transportFailures, 1u);
+}
+
+TEST(RmiChannelRetry, BackoffIsDeterministicCappedAndJittered) {
+  RetryPolicy p;  // defaults: base 0.02, cap 0.5, jitter 0.25
+  for (int attempt = 2; attempt <= 12; ++attempt) {
+    const double a = p.backoffSec(77, attempt);
+    EXPECT_EQ(a, p.backoffSec(77, attempt)) << "must be reproducible";
+    const double nominal = std::min(
+        p.backoffBaseSec * std::pow(2.0, static_cast<double>(attempt - 2)),
+        p.backoffMaxSec);
+    EXPECT_GE(a, nominal * (1.0 - p.backoffJitter)) << attempt;
+    EXPECT_LE(a, nominal * (1.0 + p.backoffJitter)) << attempt;
+  }
+  // Jitter is keyed: two logical calls do not back off in lockstep.
+  bool anyDifferent = false;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    if (p.backoffSec(77, attempt) != p.backoffSec(78, attempt)) {
+      anyDifferent = true;
+    }
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(RmiChannelRetry, DuplicateDeliveryReachesTheEndpointTwice) {
+  // Duplicate suppression is the provider's job (replay cache), not the
+  // endpoint's: a bare echo endpoint executes both copies, and the channel
+  // counts no suppression because neither response was marked replayed.
+  EchoServer server;
+  net::FaultProfile dup;
+  dup.name = "always-duplicate";
+  dup.duplicateRequestProb = 1.0;
+  net::FaultyTransport transport(dup, 1);
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  ch.setTransport(&transport);
+  Response resp = ch.call(echoRequest(5));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(server.dispatched, 2);
+  EXPECT_EQ(ch.stats().duplicatesSuppressed, 0u);
+  EXPECT_EQ(ch.stats().retries, 0u);
+}
+
+TEST(RmiChannelRetry, StallPastDeadlineTimesOutThoughServerExecuted) {
+  // Timeout classification: a provider stall past the deadline is a client
+  // timeout even though the server did the work — the dangerous case the
+  // replay cache exists for.
+  EchoServer server;
+  net::FaultProfile frozen;
+  frozen.name = "always-stall";
+  frozen.stallProb = 1.0;
+  frozen.stallSec = 2.0;  // >> default 0.25s deadline
+  net::FaultyTransport transport(frozen, 1);
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  ch.setTransport(&transport);
+  RetryPolicy p;
+  p.maxAttempts = 2;
+  ch.setRetryPolicy(p);
+  Response resp = ch.call(echoRequest(3));
+  EXPECT_EQ(resp.status, Status::TransportFailure);
+  EXPECT_EQ(server.dispatched, 2);  // executed on every attempt
+  EXPECT_EQ(ch.stats().timeouts, 2u);
+}
+
+TEST(RmiChannelRetry, CorruptedRequestFramesNeverReachDispatch) {
+  EchoServer server;
+  net::FaultProfile mangle;
+  mangle.name = "always-corrupt";
+  mangle.corruptRequestProb = 1.0;
+  net::FaultyTransport transport(mangle, 1);
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  ch.setTransport(&transport);
+  RetryPolicy p;
+  p.maxAttempts = 3;
+  ch.setRetryPolicy(p);
+  Response resp = ch.call(echoRequest(3));
+  EXPECT_EQ(resp.status, Status::TransportFailure);
+  EXPECT_EQ(server.dispatched, 0);  // checksum rejected every frame
+  EXPECT_EQ(ch.stats().corruptedFramesDropped, 3u);
+  EXPECT_EQ(ch.stats().timeouts, 3u);
 }
 
 TEST(RmiChannel, SharedHostInflatesBlockingTime) {

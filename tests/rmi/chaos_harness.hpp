@@ -1,0 +1,191 @@
+// Chaos harness: one end-to-end virtual fault campaign (remote multiplier
+// IP behind an RmiChannel), runnable under any FaultProfile × seed, with a
+// provider-restart injector for session-recovery runs.
+//
+// The harness exists to assert the robustness layer's end-to-end invariants:
+// whatever the transport does — drop, duplicate, reorder, corrupt, stall,
+// or a provider restart — the campaign's coverage results and the fee
+// ledgers must come out bit-identical to the ideal-transport run, with the
+// turbulence visible only in the channel's retry/timeout counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fault/parallel_campaign.hpp"
+#include "fault/virtual_sim.hpp"
+#include "gate/generators.hpp"
+#include "ip/provider_server.hpp"
+#include "ip/remote_component.hpp"
+#include "net/faulty_transport.hpp"
+
+namespace vcad::chaos {
+
+/// Endpoint decorator that simulates a provider process crash/restart after
+/// the N-th dispatched request (0 = never): every session and instance is
+/// lost mid-campaign, and the client must recover to finish the run.
+class RestartingEndpoint : public rmi::ServerEndpoint,
+                           public ip::PublicPartSource {
+ public:
+  RestartingEndpoint(ip::ProviderServer& target, std::uint64_t restartAfter)
+      : target_(target), restartAfter_(restartAfter) {}
+
+  rmi::Response dispatch(const rmi::Request& request) override {
+    if (restartAfter_ != 0 && ++dispatched_ == restartAfter_) {
+      target_.restart();
+      ++restarts_;
+    }
+    return target_.dispatch(request);
+  }
+  std::string hostName() const override { return target_.hostName(); }
+  ip::PublicPart downloadPublicPart(const std::string& component,
+                                    std::uint64_t param) const override {
+    return target_.downloadPublicPart(component, param);
+  }
+
+  std::uint64_t restarts() const { return restarts_; }
+
+ private:
+  ip::ProviderServer& target_;
+  std::uint64_t restartAfter_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+inline void registerChaosMultiplier(ip::ProviderServer& server) {
+  ip::IpComponentSpec spec;
+  spec.name = "MultFastLowPower";
+  spec.minWidth = 2;
+  spec.maxWidth = 16;
+  spec.functional = ip::ModelLevel::Static;
+  spec.power = ip::ModelLevel::Dynamic;
+  spec.testability = ip::ModelLevel::Dynamic;
+  spec.fees.instantiateCents = 25.0;
+  spec.fees.perDetectionTableCents = 0.05;
+  spec.fees.perEvalCents = 0.01;
+  server.registerComponent(
+      std::move(spec),
+      [](std::uint64_t w) {
+        return std::make_shared<const gate::Netlist>(
+            gate::makeArrayMultiplier(static_cast<int>(w)));
+      },
+      [](std::uint64_t w) {
+        ip::PublicPart pub;
+        pub.functional = [w](const Word& in, const rmi::Sandbox&) {
+          const int width = static_cast<int>(w);
+          const Word a = in.slice(0, width);
+          const Word b = in.slice(width, width);
+          if (!a.isFullyKnown() || !b.isFullyKnown()) {
+            return Word::allX(2 * width);
+          }
+          return Word::fromUint(2 * width, a.toUint() * b.toUint());
+        };
+        return pub;
+      });
+}
+
+/// Provider + (optionally restarting) endpoint + fault-injecting channel +
+/// a circuit holding one remote multiplier IP, ready for a campaign.
+struct ChaosRig {
+  static constexpr int kW = 3;
+  static constexpr std::uint64_t kChannelSeed = 0x5eed;
+
+  ip::ProviderServer server;
+  RestartingEndpoint endpoint;
+  net::FaultyTransport transport;
+  rmi::RmiChannel channel;
+  std::unique_ptr<ip::ProviderHandle> provider;
+  Circuit circuit;
+  ip::RemoteComponent* mult = nullptr;
+  std::unique_ptr<ip::RemoteFaultClient> client;
+  std::vector<Connector*> pis;
+  std::vector<Connector*> pos;
+
+  explicit ChaosRig(const net::FaultProfile& profile, std::uint64_t seed,
+                    std::uint64_t restartAfter = 0)
+      : server("chaos-provider.host", nullptr),
+        endpoint(server, restartAfter),
+        transport(profile, seed),
+        channel(endpoint, net::NetworkProfile::wan(), nullptr, kChannelSeed),
+        circuit("chaosFault") {
+    registerChaosMultiplier(server);
+    // Install before any traffic so even OpenSession rides the faulty path.
+    channel.setTransport(&transport);
+    provider = std::make_unique<ip::ProviderHandle>(channel);
+    auto& a = circuit.makeWord(kW, "a");
+    auto& b = circuit.makeWord(kW, "b");
+    auto& o = circuit.makeWord(2 * kW, "o");
+    ip::RemoteConfig cfg;
+    cfg.collectPower = false;
+    mult = &circuit.make<ip::RemoteComponent>(
+        "MULT", *provider, "MultFastLowPower", kW,
+        std::vector<std::pair<std::string, Connector*>>{{"a", &a}, {"b", &b}},
+        std::vector<std::pair<std::string, Connector*>>{{"o", &o}}, cfg);
+    client = std::make_unique<ip::RemoteFaultClient>(*mult);
+    pis = {&a, &b};
+    pos = {&o};
+  }
+
+  std::vector<fault::FaultClient*> components() { return {client.get()}; }
+};
+
+inline std::vector<std::vector<Word>> chaosPatterns(int count) {
+  Rng rng(0xC0FFEE);  // pattern set is fixed: only the transport varies
+  std::vector<std::vector<Word>> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back({Word::fromUint(ChaosRig::kW, rng.next()),
+                   Word::fromUint(ChaosRig::kW, rng.next())});
+  }
+  return out;
+}
+
+/// Everything a chaos run produces that the invariants quantify over.
+struct ChaosOutcome {
+  fault::CampaignResult result;
+  rmi::ChannelStats stats;          // client-side ledger + retry counters
+  net::TransportStats transport;    // faults actually injected
+  double providerFeesCents = 0.0;   // server-side ledger (final session)
+  std::uint64_t recoveries = 0;     // completed session recoveries
+  std::uint64_t restarts = 0;       // provider crashes injected
+  std::uint64_t remoteErrors = 0;   // remote-call failures the module saw
+};
+
+/// Runs the campaign under the given transport behaviour. threads == 0 uses
+/// the serial VirtualFaultSimulator; otherwise the parallel engine with the
+/// given worker count and table batch size.
+inline ChaosOutcome runChaosCampaign(const net::FaultProfile& profile,
+                                     std::uint64_t seed, int patternCount = 6,
+                                     std::uint64_t restartAfter = 0,
+                                     std::size_t threads = 0,
+                                     std::size_t batch = 1,
+                                     const rmi::RetryPolicy* policy = nullptr) {
+  ChaosRig rig(profile, seed, restartAfter);
+  if (policy != nullptr) rig.channel.setRetryPolicy(*policy);
+  const auto patterns = chaosPatterns(patternCount);
+  ChaosOutcome out;
+  if (threads == 0) {
+    fault::VirtualFaultSimulator sim(rig.circuit, rig.components(), rig.pis,
+                                     rig.pos);
+    out.result = sim.run(patterns);
+  } else {
+    fault::ParallelCampaignConfig cfg;
+    cfg.threads = threads;
+    cfg.batchSize = batch;
+    fault::ParallelFaultSimulator sim(rig.circuit, rig.components(), rig.pis,
+                                      rig.pos, cfg);
+    out.result = sim.run(patterns);
+  }
+  out.stats = rig.channel.stats();
+  out.transport = rig.transport.stats();
+  out.providerFeesCents = rig.server.sessionFeesCents(rig.provider->session());
+  out.recoveries = rig.provider->recoveries();
+  out.restarts = rig.endpoint.restarts();
+  out.remoteErrors = rig.mult->remoteErrors();
+  return out;
+}
+
+}  // namespace vcad::chaos

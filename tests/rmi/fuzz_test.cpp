@@ -45,7 +45,8 @@ FuzzCase makeCase(Rng& rng) {
   FuzzCase fc;
   fc.request.session = rng.next();
   fc.request.instance = rng.next();
-  fc.request.method = static_cast<MethodId>(1 + rng.below(12));
+  fc.request.method = static_cast<MethodId>(1 + rng.below(14));
+  fc.request.idempotencyKey = rng.next();
   fc.request.component = randomString(rng);
   const int fields = static_cast<int>(rng.below(8));
   for (int i = 0; i < fields; ++i) {
@@ -100,6 +101,7 @@ TEST_P(ProtocolFuzz, WellFormedRequestsRoundTrip) {
     EXPECT_EQ(back.session, fc.request.session);
     EXPECT_EQ(back.instance, fc.request.instance);
     EXPECT_EQ(back.method, fc.request.method);
+    EXPECT_EQ(back.idempotencyKey, fc.request.idempotencyKey);
     EXPECT_EQ(back.component, fc.request.component);
     std::size_t iu = 0, id = 0, iw = 0, iv = 0, is = 0;
     for (int kind : fc.fieldKinds) {
@@ -158,6 +160,59 @@ TEST_P(ProtocolFuzz, CorruptedStreamsNeverCrash) {
       }
     } catch (const std::exception&) {
       // Bounds-checked rejection is the expected failure mode.
+    }
+  }
+}
+
+TEST_P(ProtocolFuzz, WellFormedResponsesRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ULL);
+  for (int iter = 0; iter < 100; ++iter) {
+    Response resp;
+    resp.status = static_cast<Status>(rng.below(7));
+    resp.error = randomString(rng);
+    resp.feeCents = rng.uniform(0.0, 1e6);
+    resp.replayed = rng.chance(0.5);
+    const std::size_t n = rng.below(64);
+    for (std::size_t i = 0; i < n; ++i) resp.payload.writeU8(
+        static_cast<std::uint8_t>(rng.next()));
+
+    net::ByteBuffer wire = resp.marshal();
+    Response back = Response::unmarshal(wire);
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.error, resp.error);
+    EXPECT_EQ(back.feeCents, resp.feeCents);  // bit-exact, it is a ledger entry
+    EXPECT_EQ(back.replayed, resp.replayed);
+    EXPECT_EQ(back.payload.bytes(), resp.payload.bytes());
+  }
+}
+
+TEST_P(ProtocolFuzz, EveryTruncatedPrefixIsRejectedNotMisread) {
+  // Every field is either fixed-size or length-prefixed, so cutting the
+  // stream anywhere strictly short of the end must throw from the
+  // bounds-checked readers — a truncated message can never silently
+  // unmarshal into a different valid message.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9049959679273693967ULL);
+  for (int iter = 0; iter < 10; ++iter) {
+    FuzzCase fc = makeCase(rng);
+    const auto bytes = fc.request.marshal().bytes();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      net::ByteBuffer prefix(std::vector<std::uint8_t>(
+          bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(len)));
+      EXPECT_THROW(Request::unmarshal(prefix), std::exception)
+          << "prefix length " << len << " of " << bytes.size();
+    }
+
+    Response resp;
+    resp.status = Status::Ok;
+    resp.error = randomString(rng);
+    resp.feeCents = 0.25;
+    resp.payload.writeU64(rng.next());
+    const auto rbytes = resp.marshal().bytes();
+    for (std::size_t len = 0; len < rbytes.size(); ++len) {
+      net::ByteBuffer prefix(std::vector<std::uint8_t>(
+          rbytes.begin(), rbytes.begin() + static_cast<std::ptrdiff_t>(len)));
+      EXPECT_THROW(Response::unmarshal(prefix), std::exception)
+          << "prefix length " << len << " of " << rbytes.size();
     }
   }
 }
