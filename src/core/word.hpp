@@ -69,6 +69,13 @@ class Word {
   /// MSB-first display form, e.g. "1X01".
   std::string toString() const;
 
+  // Low-level plane accessors for bit-parallel engines (bit i describes the
+  // word's bit i). The value plane is canonical: 0 wherever the bit is not
+  // a strong 0/1.
+  std::uint64_t valuePlane() const { return bits_; }
+  std::uint64_t knownPlane() const { return known_; }
+  std::uint64_t zPlane() const { return zmask_; }
+
  private:
   std::uint64_t bits_ = 0;   // bit i value (meaningful when known)
   std::uint64_t known_ = 0;  // bit i is strong 0/1

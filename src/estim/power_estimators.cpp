@@ -39,22 +39,20 @@ LinearPowerModel fitLinearPowerModel(const gate::Netlist& netlist,
         "fitLinearPowerModel: need at least 3 training patterns");
   }
   // Per-transition samples: x = input toggles, y = power of that transition.
-  gate::NetlistEvaluator eval(netlist);
-  std::vector<Logic> prev = eval.evaluate(trainingPatterns[0]);
+  // Energies come from the packed bit-parallel engine, 64 patterns per pass.
+  const std::vector<double> energiesPj =
+      gate::transitionEnergiesPj(netlist, trainingPatterns, tech);
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
   std::size_t n = 0;
   for (std::size_t i = 1; i < trainingPatterns.size(); ++i) {
-    std::vector<Logic> curr = eval.evaluate(trainingPatterns[i]);
     const double x =
         Word::toggleCount(trainingPatterns[i - 1], trainingPatterns[i]);
-    const double ePj = gate::transitionEnergyPj(netlist, prev, curr, tech);
-    const double y = ePj * 1e-12 * tech.clockHz * 1e3;  // mW
+    const double y = energiesPj[i - 1] * 1e-12 * tech.clockHz * 1e3;  // mW
     sx += x;
     sy += y;
     sxx += x * x;
     sxy += x * y;
     ++n;
-    prev = std::move(curr);
   }
   const double dn = static_cast<double>(n);
   const double denom = dn * sxx - sx * sx;

@@ -1,24 +1,41 @@
 #include "fault/atpg.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#include "gate/packed_eval.hpp"
 
 namespace vcad::fault {
 
 namespace {
 
-/// Faults (by index) newly detected by `pattern` among those not yet in
-/// `detected`.
-std::vector<std::size_t> detectsWhich(const gate::NetlistEvaluator& eval,
-                                      const std::vector<StuckFault>& faults,
-                                      const std::vector<bool>& detected,
-                                      const Word& pattern) {
-  const Word golden = eval.evalOutputs(pattern);
-  std::vector<std::size_t> hits;
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (detected[i]) continue;
-    if (eval.evalOutputs(pattern, faults[i]) != golden) hits.push_back(i);
+/// Detected-fault lists per pattern, each in increasing fault-index order —
+/// the packed analogue of evaluating every pattern against every fault with
+/// no dropping. One packed pass per fault per 64-pattern block.
+std::vector<std::vector<std::size_t>> detectionsPerPattern(
+    const gate::PackedEvaluator& packed,
+    const std::vector<gate::StuckFault>& faults,
+    const std::vector<Word>& patterns) {
+  std::vector<std::vector<std::size_t>> per(patterns.size());
+  std::vector<gate::LanePlanes> golden, faulty;
+  for (std::size_t base = 0; base < patterns.size();
+       base += gate::PackedEvaluator::kLanes) {
+    const std::size_t lanes = std::min<std::size_t>(
+        gate::PackedEvaluator::kLanes, patterns.size() - base);
+    const auto block = packed.pack(patterns, base, lanes);
+    packed.evaluate(block, golden);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      packed.evaluate(block, faulty, &faults[i]);
+      std::uint64_t diff =
+          packed.outputDiffMask(golden, faulty, static_cast<int>(lanes));
+      while (diff != 0) {
+        const int lane = std::countr_zero(diff);
+        diff &= diff - 1;
+        per[base + static_cast<std::size_t>(lane)].push_back(i);
+      }
+    }
   }
-  return hits;
+  return per;
 }
 
 }  // namespace
@@ -26,7 +43,7 @@ std::vector<std::size_t> detectsWhich(const gate::NetlistEvaluator& eval,
 AtpgResult generateTests(const gate::Netlist& netlist,
                          const AtpgOptions& options) {
   const CollapsedFaults collapsed = collapseAll(netlist);
-  gate::NetlistEvaluator eval(netlist);
+  const gate::PackedEvaluator packed(netlist);
   Rng rng(options.seed);
 
   AtpgResult res;
@@ -36,38 +53,74 @@ AtpgResult generateTests(const gate::Netlist& netlist,
   std::vector<bool> detected(collapsed.size(), false);
   std::size_t detectedCount = 0;
   int uselessStreak = 0;
+  bool stop = false;
 
-  while (static_cast<int>(res.candidatesTried) < options.maxPatterns &&
+  // Candidates are drawn (from the same RNG stream as the scalar loop) and
+  // simulated 64 to a block; per-block first-detection lanes reproduce the
+  // scalar fault-dropping order, so the lane walk below applies the exact
+  // scalar stop conditions — identical patterns, coverage and counters.
+  std::vector<Word> candidates;
+  std::vector<gate::LanePlanes> golden, faulty;
+  while (!stop && static_cast<int>(res.candidatesTried) < options.maxPatterns &&
          uselessStreak < options.giveUpAfterUseless) {
-    const Word candidate = Word::fromUint(netlist.inputCount(), rng.next());
-    ++res.candidatesTried;
-    const auto hits =
-        detectsWhich(eval, collapsed.representatives, detected, candidate);
-    if (hits.empty()) {
-      ++uselessStreak;
-      continue;
+    const std::size_t blockLanes = std::min<std::size_t>(
+        gate::PackedEvaluator::kLanes,
+        static_cast<std::size_t>(options.maxPatterns) - res.candidatesTried);
+    candidates.clear();
+    for (std::size_t l = 0; l < blockLanes; ++l) {
+      candidates.push_back(Word::fromUint(netlist.inputCount(), rng.next()));
     }
-    uselessStreak = 0;
-    for (std::size_t i : hits) detected[i] = true;
-    detectedCount += hits.size();
-    res.patterns.push_back(candidate);
-    if (static_cast<double>(detectedCount) >=
-        options.targetCoverage * static_cast<double>(collapsed.size())) {
-      break;
+    const auto block = packed.pack(candidates, 0, blockLanes);
+    packed.evaluate(block, golden);
+
+    // hitsAtLane[l]: still-undetected faults whose first detecting candidate
+    // in this block is candidate l — exactly what the scalar loop, which
+    // drops a fault the moment one candidate detects it, would attribute.
+    std::vector<std::vector<std::size_t>> hitsAtLane(blockLanes);
+    for (std::size_t i = 0; i < collapsed.size(); ++i) {
+      if (detected[i]) continue;
+      packed.evaluate(block, faulty, &collapsed.representatives[i]);
+      const std::uint64_t diff =
+          packed.outputDiffMask(golden, faulty, static_cast<int>(blockLanes));
+      if (diff != 0) hitsAtLane[std::countr_zero(diff)].push_back(i);
+    }
+
+    for (std::size_t l = 0; l < blockLanes; ++l) {
+      ++res.candidatesTried;
+      const auto& hits = hitsAtLane[l];
+      if (hits.empty()) {
+        if (++uselessStreak >= options.giveUpAfterUseless) {
+          stop = true;
+          break;
+        }
+        continue;
+      }
+      uselessStreak = 0;
+      for (std::size_t i : hits) detected[i] = true;
+      detectedCount += hits.size();
+      res.patterns.push_back(candidates[l]);
+      if (static_cast<double>(detectedCount) >=
+          options.targetCoverage * static_cast<double>(collapsed.size())) {
+        stop = true;
+        break;
+      }
     }
   }
 
   res.beforeCompaction = res.patterns.size();
   res.patterns =
       compactTests(netlist, collapsed.representatives, res.patterns);
-  // Final coverage of the compacted set.
+  // Final coverage of the compacted set: the union of per-pattern detections.
+  const auto per =
+      detectionsPerPattern(packed, collapsed.representatives, res.patterns);
   std::vector<bool> finalDetected(collapsed.size(), false);
   std::size_t finalCount = 0;
-  for (const Word& p : res.patterns) {
-    for (std::size_t i :
-         detectsWhich(eval, collapsed.representatives, finalDetected, p)) {
-      finalDetected[i] = true;
-      ++finalCount;
+  for (const auto& hits : per) {
+    for (std::size_t i : hits) {
+      if (!finalDetected[i]) {
+        finalDetected[i] = true;
+        ++finalCount;
+      }
     }
   }
   res.coverage =
@@ -78,15 +131,11 @@ AtpgResult generateTests(const gate::Netlist& netlist,
 std::vector<Word> compactTests(const gate::Netlist& netlist,
                                const std::vector<gate::StuckFault>& faults,
                                const std::vector<Word>& patterns) {
-  gate::NetlistEvaluator eval(netlist);
+  const gate::PackedEvaluator packed(netlist);
 
   // Which faults does each pattern detect in isolation?
-  std::vector<std::vector<std::size_t>> perPattern;
-  perPattern.reserve(patterns.size());
-  const std::vector<bool> none(faults.size(), false);
-  for (const Word& p : patterns) {
-    perPattern.push_back(detectsWhich(eval, faults, none, p));
-  }
+  const std::vector<std::vector<std::size_t>> perPattern =
+      detectionsPerPattern(packed, faults, patterns);
 
   // Reverse-order greedy: keep a pattern only if it detects something not
   // already covered by the patterns kept so far (later patterns detect the

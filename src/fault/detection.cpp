@@ -1,6 +1,7 @@
 #include "fault/detection.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 
 namespace vcad::fault {
@@ -92,6 +93,56 @@ DetectionTable buildDetectionTable(const gate::NetlistEvaluator& eval,
     rows.push_back(std::move(row));
   }
   return DetectionTable(inputs, faultFree, std::move(rows));
+}
+
+std::vector<DetectionTable> buildDetectionTables(
+    const gate::PackedEvaluator& packed, const CollapsedFaults& collapsed,
+    const std::vector<Word>& inputs) {
+  const Netlist& nl = packed.netlist();
+  std::vector<std::string> symbols;
+  symbols.reserve(collapsed.representatives.size());
+  for (const StuckFault& f : collapsed.representatives) {
+    symbols.push_back(symbolOf(nl, f));
+  }
+
+  std::vector<DetectionTable> tables;
+  tables.reserve(inputs.size());
+  std::vector<gate::LanePlanes> golden, faulty;
+  for (std::size_t base = 0; base < inputs.size();
+       base += gate::PackedEvaluator::kLanes) {
+    const std::size_t lanes = std::min<std::size_t>(
+        gate::PackedEvaluator::kLanes, inputs.size() - base);
+    const auto block = packed.pack(inputs, base, lanes);
+    packed.evaluate(block, golden);
+
+    std::vector<std::map<std::string, DetectionTable::Row>> byOutput(lanes);
+    for (std::size_t i = 0; i < collapsed.representatives.size(); ++i) {
+      packed.evaluate(block, faulty, &collapsed.representatives[i]);
+      std::uint64_t diff =
+          packed.outputDiffMask(golden, faulty, static_cast<int>(lanes));
+      while (diff != 0) {
+        const int lane = std::countr_zero(diff);
+        diff &= diff - 1;
+        const Word out = packed.outputsOf(faulty, lane);
+        auto& row = byOutput[static_cast<std::size_t>(lane)][out.toString()];
+        row.faultyOutput = out;
+        row.faults.push_back(symbols[i]);
+      }
+    }
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      std::vector<DetectionTable::Row> rows;
+      rows.reserve(byOutput[lane].size());
+      for (auto& [key, row] : byOutput[lane]) {
+        std::sort(row.faults.begin(), row.faults.end());
+        rows.push_back(std::move(row));
+      }
+      tables.emplace_back(inputs[base + lane],
+                          packed.outputsOf(golden, static_cast<int>(lane)),
+                          std::move(rows));
+    }
+  }
+  return tables;
 }
 
 }  // namespace vcad::fault

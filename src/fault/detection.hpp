@@ -14,6 +14,7 @@
 
 #include "core/estimation.hpp"
 #include "fault/model.hpp"
+#include "gate/packed_eval.hpp"
 #include "net/serialize.hpp"
 
 namespace vcad::fault {
@@ -61,5 +62,14 @@ class DetectionTable final : public ParamValue {
 DetectionTable buildDetectionTable(const gate::NetlistEvaluator& eval,
                                    const CollapsedFaults& collapsed,
                                    const Word& inputs);
+
+/// Batched provider-side construction on the packed bit-parallel engine: the
+/// input configurations are packed 64 to a block, so each collapsed fault is
+/// simulated once per block instead of once per configuration. The returned
+/// tables (one per input, same order) are identical to calling
+/// buildDetectionTable per configuration.
+std::vector<DetectionTable> buildDetectionTables(
+    const gate::PackedEvaluator& packed, const CollapsedFaults& collapsed,
+    const std::vector<Word>& inputs);
 
 }  // namespace vcad::fault

@@ -14,16 +14,18 @@ FaultDictionary FaultDictionary::build(const gate::Netlist& netlist,
         " inputs means 2^" + std::to_string(n) +
         " tables — beyond the configured exponential wall");
   }
-  gate::NetlistEvaluator eval(netlist);
   FaultDictionary d;
   d.inputBits_ = n;
   d.faultList_ = symbolicFaultList(netlist, collapsed);
   const std::uint64_t configs = 1ULL << n;
-  d.tables_.reserve(configs);
+  std::vector<Word> inputs;
+  inputs.reserve(configs);
   for (std::uint64_t v = 0; v < configs; ++v) {
-    d.tables_.push_back(
-        buildDetectionTable(eval, collapsed, Word::fromUint(n, v)));
+    inputs.push_back(Word::fromUint(n, v));
   }
+  // Packed construction: 64 configurations characterized per fault pass.
+  const gate::PackedEvaluator packed(netlist);
+  d.tables_ = buildDetectionTables(packed, collapsed, inputs);
   return d;
 }
 

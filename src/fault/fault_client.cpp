@@ -51,14 +51,20 @@ LocalFaultBlock::LocalFaultBlock(gate::NetlistModule& module, bool dominance,
                                  FaultScope scope)
     : module_(module),
       collapsed_(collapseAll(module.netlist(), dominance, scope.includeInputs,
-                             scope.includeOutputs)) {}
+                             scope.includeOutputs)),
+      packed_(module.netlist()) {}
 
 std::vector<std::string> LocalFaultBlock::faultList() {
   return symbolicFaultList(module_.netlist(), collapsed_);
 }
 
 DetectionTable LocalFaultBlock::detectionTable(const Word& inputs) {
-  return buildDetectionTable(module_.evaluator(), collapsed_, inputs);
+  return std::move(buildDetectionTables(packed_, collapsed_, {inputs})[0]);
+}
+
+std::vector<DetectionTable> LocalFaultBlock::detectionTables(
+    const std::vector<Word>& inputs) {
+  return buildDetectionTables(packed_, collapsed_, inputs);
 }
 
 }  // namespace vcad::fault

@@ -70,11 +70,17 @@ class LocalFaultBlock final : public FaultClient {
   std::vector<std::string> faultList() override;
   DetectionTable detectionTable(const Word& inputs) override;
 
+  /// Batched tables on the packed bit-parallel engine: the buffered inputs
+  /// are evaluated 64 to a pass, one pass per collapsed fault per block.
+  std::vector<DetectionTable> detectionTables(
+      const std::vector<Word>& inputs) override;
+
   const CollapsedFaults& collapsed() const { return collapsed_; }
 
  private:
   gate::NetlistModule& module_;
   CollapsedFaults collapsed_;
+  gate::PackedEvaluator packed_;
 };
 
 }  // namespace vcad::fault

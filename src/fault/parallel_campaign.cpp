@@ -123,6 +123,11 @@ ParallelFaultSimulator::ParallelFaultSimulator(
   }
   if (config_.threads == 0) config_.threads = 1;
   if (config_.batchSize == 0) config_.batchSize = 1;
+  if (config_.alignBatchesToPackWidth) {
+    const std::size_t lanes =
+        static_cast<std::size_t>(gate::PackedEvaluator::kLanes);
+    config_.batchSize = ((config_.batchSize + lanes - 1) / lanes) * lanes;
+  }
 }
 
 void ParallelFaultSimulator::applyPattern(SimulationController& sim,

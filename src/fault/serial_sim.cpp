@@ -1,5 +1,8 @@
 #include "fault/serial_sim.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <limits>
 #include <stdexcept>
 
 namespace vcad::fault {
@@ -9,6 +12,7 @@ SerialFaultSimulator::SerialFaultSimulator(const Netlist& netlist,
                                            std::vector<std::string> symbols)
     : netlist_(netlist),
       eval_(netlist),
+      packed_(netlist),
       faults_(std::move(faults)),
       symbols_(std::move(symbols)) {
   if (faults_.size() != symbols_.size()) {
@@ -19,13 +23,59 @@ SerialFaultSimulator::SerialFaultSimulator(const Netlist& netlist,
 
 SerialFaultSimulator::SerialFaultSimulator(const Netlist& netlist,
                                            bool dominance)
-    : netlist_(netlist), eval_(netlist) {
+    : netlist_(netlist), eval_(netlist), packed_(netlist) {
   const CollapsedFaults c = collapseAll(netlist, dominance);
   faults_ = c.representatives;
   for (const StuckFault& f : faults_) symbols_.push_back(symbolOf(netlist, f));
 }
 
 CampaignResult SerialFaultSimulator::run(const std::vector<Word>& patterns) {
+  CampaignResult res;
+  res.faultList = symbols_;
+  constexpr std::size_t kUndetected = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> firstDetectedAt(faults_.size(), kUndetected);
+
+  std::vector<gate::LanePlanes> golden, faulty;
+  for (std::size_t base = 0; base < patterns.size();
+       base += gate::PackedEvaluator::kLanes) {
+    const std::size_t lanes = std::min<std::size_t>(
+        gate::PackedEvaluator::kLanes, patterns.size() - base);
+    const auto block = packed_.pack(patterns, base, lanes);
+    packed_.evaluate(block, golden);
+    res.faultSimEvaluations += lanes;  // one fault-free pass per pattern
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      if (firstDetectedAt[i] != kUndetected) continue;  // fault dropping
+      packed_.evaluate(block, faulty, &faults_[i]);
+      const std::uint64_t diff = packed_.outputDiffMask(
+          golden, faulty, static_cast<int>(lanes));
+      if (diff != 0) {
+        const int lane = std::countr_zero(diff);
+        firstDetectedAt[i] = base + static_cast<std::size_t>(lane);
+        res.detected.insert(symbols_[i]);
+        // Scalar schedule: evaluated at every pattern up to detection.
+        res.faultSimEvaluations += static_cast<std::uint64_t>(lane) + 1;
+      } else {
+        res.faultSimEvaluations += lanes;
+      }
+    }
+  }
+
+  // Cumulative per-pattern coverage curve from the detection lanes.
+  std::vector<std::size_t> newlyAt(patterns.size(), 0);
+  for (std::size_t at : firstDetectedAt) {
+    if (at != kUndetected) ++newlyAt[at];
+  }
+  std::size_t cumulative = 0;
+  res.detectedAfterPattern.reserve(patterns.size());
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    cumulative += newlyAt[p];
+    res.detectedAfterPattern.push_back(cumulative);
+  }
+  return res;
+}
+
+CampaignResult SerialFaultSimulator::runScalar(
+    const std::vector<Word>& patterns) {
   CampaignResult res;
   res.faultList = symbols_;
   std::vector<bool> detected(faults_.size(), false);

@@ -13,6 +13,7 @@
 
 #include "fault/model.hpp"
 #include "fault/virtual_sim.hpp"
+#include "gate/packed_eval.hpp"
 
 namespace vcad::fault {
 
@@ -28,7 +29,19 @@ class SerialFaultSimulator {
 
   /// Runs the campaign: for each pattern, fault-free evaluation plus one
   /// faulty evaluation per undetected fault (with fault dropping).
+  ///
+  /// Executes on the packed bit-parallel engine — patterns are processed in
+  /// 64-wide blocks, one fault propagated across all lanes per pass — and
+  /// produces a CampaignResult identical field-for-field to runScalar():
+  /// same detected set, same per-pattern coverage curve, and the same
+  /// faultSimEvaluations count (a fault detected at pattern p is charged
+  /// one evaluation for every pattern up to and including p, exactly the
+  /// scalar dropping schedule).
   CampaignResult run(const std::vector<Word>& patterns);
+
+  /// The classic one-pattern-at-a-time reference path, kept as the golden
+  /// oracle for the packed engine.
+  CampaignResult runScalar(const std::vector<Word>& patterns);
 
   const std::vector<StuckFault>& faults() const { return faults_; }
   const std::vector<std::string>& symbols() const { return symbols_; }
@@ -36,6 +49,7 @@ class SerialFaultSimulator {
  private:
   const Netlist& netlist_;
   gate::NetlistEvaluator eval_;
+  gate::PackedEvaluator packed_;
   std::vector<StuckFault> faults_;
   std::vector<std::string> symbols_;
 };

@@ -1,7 +1,10 @@
 #include "gate/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
+
+#include "gate/packed_eval.hpp"
 
 namespace vcad::gate {
 
@@ -70,14 +73,16 @@ double transitionEnergyPj(const Netlist& nl, const std::vector<Logic>& prev,
   return 0.5 * energyfFV2 * tech.vdd * tech.vdd * 1e-3;
 }
 
-PowerResult gateLevelPower(const Netlist& nl, const std::vector<Word>& patterns,
-                           const TechParams& tech) {
+PowerResult gateLevelPowerScalar(const Netlist& nl,
+                                 const std::vector<Word>& patterns,
+                                 const TechParams& tech) {
   PowerResult res;
   if (patterns.size() < 2) return res;
   NetlistEvaluator eval(nl);
   std::vector<Logic> prev = eval.evaluate(patterns[0]);
+  std::vector<Logic> curr;
   for (size_t p = 1; p < patterns.size(); ++p) {
-    std::vector<Logic> curr = eval.evaluate(patterns[p]);
+    eval.evaluateInto(patterns[p], curr);
     const double ePj = transitionEnergyPj(nl, prev, curr, tech);
     // power for this transition: E / T, T = 1/clockHz.
     const double pMw = ePj * 1e-12 * tech.clockHz * 1e3;
@@ -85,10 +90,96 @@ PowerResult gateLevelPower(const Netlist& nl, const std::vector<Word>& patterns,
     res.avgPowerMw += pMw;
     res.totalToggles += toggles(prev, curr);
     ++res.transitions;
-    prev = std::move(curr);
+    std::swap(prev, curr);
   }
   res.avgPowerMw /= static_cast<double>(res.transitions);
   return res;
+}
+
+namespace {
+
+/// Packed sweep over consecutive-pattern transitions. Blocks overlap by one
+/// lane so every (p-1, p) pair lives inside a block. For each transition the
+/// per-net cap contributions accumulate in net-id order — the exact
+/// floating-point addition order of the scalar transitionEnergyPj loop — so
+/// derived powers match the scalar path bit for bit. `onTransition` receives
+/// (energy in fF*V^2, toggled-net count) per transition, in pattern order.
+template <typename Fn>
+void packedTransitionSweep(const Netlist& nl,
+                           const std::vector<Word>& patterns,
+                           const TechParams& tech, Fn onTransition) {
+  PackedEvaluator packed(nl);
+  const int nets = nl.netCount();
+  std::vector<double> capfF(static_cast<size_t>(nets));
+  for (NetId n = 0; n < nets; ++n) {
+    capfF[static_cast<size_t>(n)] = netCapfF(nl, n, tech);
+  }
+  std::vector<LanePlanes> planes;
+  double pairEnergy[PackedEvaluator::kLanes];
+  std::uint64_t pairToggles[PackedEvaluator::kLanes];
+  std::size_t p0 = 0;
+  while (p0 + 1 < patterns.size()) {
+    const std::size_t lanes = std::min<std::size_t>(
+        PackedEvaluator::kLanes, patterns.size() - p0);
+    const int pairs = static_cast<int>(lanes) - 1;
+    const std::uint64_t pairMask = (1ULL << pairs) - 1;
+    packed.evaluate(packed.pack(patterns, p0, lanes), planes);
+    for (int t = 0; t < pairs; ++t) {
+      pairEnergy[t] = 0.0;
+      pairToggles[t] = 0;
+    }
+    for (NetId n = 0; n < nets; ++n) {
+      const LanePlanes& q = planes[static_cast<size_t>(n)];
+      // Toggle between lanes t and t+1: either side unknown (pessimistic),
+      // or both known and the value planes differ.
+      const std::uint64_t bothKnown = q.known & (q.known >> 1);
+      std::uint64_t t =
+          (((q.val ^ (q.val >> 1)) & bothKnown) | ~bothKnown) & pairMask;
+      const double cap = capfF[static_cast<size_t>(n)];
+      while (t != 0) {
+        const int b = std::countr_zero(t);
+        t &= t - 1;
+        pairEnergy[b] += cap;
+        ++pairToggles[b];
+      }
+    }
+    for (int t = 0; t < pairs; ++t) onTransition(pairEnergy[t], pairToggles[t]);
+    p0 += lanes - 1;  // overlap: the last lane seeds the next block
+  }
+}
+
+}  // namespace
+
+PowerResult gateLevelPower(const Netlist& nl, const std::vector<Word>& patterns,
+                           const TechParams& tech) {
+  PowerResult res;
+  if (patterns.size() < 2) return res;
+  packedTransitionSweep(
+      nl, patterns, tech,
+      [&](double energyfFV2, std::uint64_t togglesHere) {
+        const double ePj = 0.5 * energyfFV2 * tech.vdd * tech.vdd * 1e-3;
+        const double pMw = ePj * 1e-12 * tech.clockHz * 1e3;
+        res.peakPowerMw = std::max(res.peakPowerMw, pMw);
+        res.avgPowerMw += pMw;
+        res.totalToggles += togglesHere;
+        ++res.transitions;
+      });
+  res.avgPowerMw /= static_cast<double>(res.transitions);
+  return res;
+}
+
+std::vector<double> transitionEnergiesPj(const Netlist& nl,
+                                         const std::vector<Word>& patterns,
+                                         const TechParams& tech) {
+  std::vector<double> out;
+  if (patterns.size() < 2) return out;
+  out.reserve(patterns.size() - 1);
+  packedTransitionSweep(nl, patterns, tech,
+                        [&](double energyfFV2, std::uint64_t) {
+                          out.push_back(0.5 * energyfFV2 * tech.vdd *
+                                        tech.vdd * 1e-3);
+                        });
+  return out;
 }
 
 }  // namespace vcad::gate

@@ -53,6 +53,12 @@ double transitionEnergyPj(const Netlist& nl, const std::vector<Logic>& prev,
 /// switching energy divided by the sequence duration at tech.clockHz.
 /// `patterns` are primary-input words; evaluation starts from patterns[0]
 /// (no energy charged for the first pattern).
+///
+/// Evaluated on the packed bit-parallel engine, 64 patterns per pass; the
+/// per-net toggle counts come from popcounts over XOR-ed lane planes. The
+/// result is bit-identical (including floating point) to
+/// gateLevelPowerScalar, which walks the scalar evaluator one pattern at a
+/// time and is kept as the differential-test reference.
 struct PowerResult {
   double avgPowerMw = 0.0;
   double peakPowerMw = 0.0;      // max per-transition power
@@ -61,5 +67,16 @@ struct PowerResult {
 };
 PowerResult gateLevelPower(const Netlist& nl, const std::vector<Word>& patterns,
                            const TechParams& tech = {});
+PowerResult gateLevelPowerScalar(const Netlist& nl,
+                                 const std::vector<Word>& patterns,
+                                 const TechParams& tech = {});
+
+/// Per-transition switching energies (pJ) of a pattern sequence on the
+/// packed engine: energies[t] covers patterns[t] -> patterns[t+1].
+/// Bit-identical to calling transitionEnergyPj on consecutive scalar
+/// snapshots.
+std::vector<double> transitionEnergiesPj(const Netlist& nl,
+                                         const std::vector<Word>& patterns,
+                                         const TechParams& tech = {});
 
 }  // namespace vcad::gate

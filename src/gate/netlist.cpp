@@ -47,30 +47,35 @@ std::pair<int, int> arityOf(GateType t) {
   }
 }
 
-Logic evalGate(GateType t, const std::vector<Logic>& ins) {
+Logic evalGate(GateType t, const Logic* ins, int n) {
+  const auto [lo, hi] = arityOf(t);
+  if (n < lo || (hi >= 0 && n > hi)) {
+    throw std::invalid_argument("evalGate: " + toString(t) + " with " +
+                                std::to_string(n) + " inputs");
+  }
   switch (t) {
     case GateType::Const0:
       return Logic::L0;
     case GateType::Const1:
       return Logic::L1;
     case GateType::Buf:
-      return logicBuf(ins.at(0));
+      return logicBuf(ins[0]);
     case GateType::Not:
-      return logicNot(ins.at(0));
+      return logicNot(ins[0]);
     case GateType::Xor:
-      return logicXor(ins.at(0), ins.at(1));
+      return logicXor(ins[0], ins[1]);
     case GateType::Xnor:
-      return logicXnor(ins.at(0), ins.at(1));
+      return logicXnor(ins[0], ins[1]);
     case GateType::And:
     case GateType::Nand: {
       Logic acc = Logic::L1;
-      for (Logic v : ins) acc = logicAnd(acc, v);
+      for (int i = 0; i < n; ++i) acc = logicAnd(acc, ins[i]);
       return t == GateType::And ? acc : logicNot(acc);
     }
     case GateType::Or:
     case GateType::Nor: {
       Logic acc = Logic::L0;
-      for (Logic v : ins) acc = logicOr(acc, v);
+      for (int i = 0; i < n; ++i) acc = logicOr(acc, ins[i]);
       return t == GateType::Or ? acc : logicNot(acc);
     }
   }
@@ -224,13 +229,21 @@ NetlistEvaluator::NetlistEvaluator(const Netlist& nl)
 
 std::vector<Logic> NetlistEvaluator::evaluate(
     const Word& inputs, std::optional<StuckFault> fault) const {
+  std::vector<Logic> value;
+  evaluateInto(inputs, value, fault);
+  return value;
+}
+
+void NetlistEvaluator::evaluateInto(const Word& inputs,
+                                    std::vector<Logic>& value,
+                                    std::optional<StuckFault> fault) const {
   if (inputs.width() != nl_->inputCount()) {
     throw std::invalid_argument("NetlistEvaluator: input width " +
                                 std::to_string(inputs.width()) +
                                 " != PI count " +
                                 std::to_string(nl_->inputCount()));
   }
-  std::vector<Logic> value(static_cast<size_t>(nl_->netCount()), Logic::X);
+  value.assign(static_cast<size_t>(nl_->netCount()), Logic::X);
   const auto& pis = nl_->primaryInputs();
   for (size_t i = 0; i < pis.size(); ++i) {
     value[static_cast<size_t>(pis[i])] = inputs.bit(static_cast<int>(i));
@@ -238,16 +251,30 @@ std::vector<Logic> NetlistEvaluator::evaluate(
   if (fault && nl_->isPrimaryInput(fault->net)) {
     value[static_cast<size_t>(fault->net)] = fault->stuck;
   }
-  std::vector<Logic> ins;
+  // Gate inputs are gathered into a fixed stack window (heap fallback only
+  // for pathologically wide gates), so the whole pass is allocation-free
+  // when `value` arrives with capacity.
+  constexpr int kInlineFanin = 32;
+  Logic window[kInlineFanin];
+  std::vector<Logic> wide;
   for (int g : topo_) {
     const GateNode& gn = nl_->gates()[static_cast<size_t>(g)];
-    ins.clear();
-    for (NetId in : gn.inputs) ins.push_back(value[static_cast<size_t>(in)]);
-    Logic out = evalGate(gn.type, ins);
+    const int n = static_cast<int>(gn.inputs.size());
+    const Logic* ins;
+    if (n <= kInlineFanin) {
+      for (int i = 0; i < n; ++i) {
+        window[i] = value[static_cast<size_t>(gn.inputs[static_cast<size_t>(i)])];
+      }
+      ins = window;
+    } else {
+      wide.clear();
+      for (NetId in : gn.inputs) wide.push_back(value[static_cast<size_t>(in)]);
+      ins = wide.data();
+    }
+    Logic out = evalGate(gn.type, ins, n);
     if (fault && fault->net == gn.output) out = fault->stuck;
     value[static_cast<size_t>(gn.output)] = out;
   }
-  return value;
 }
 
 Word NetlistEvaluator::outputsOf(const std::vector<Logic>& netValues) const {

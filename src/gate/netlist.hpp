@@ -40,7 +40,11 @@ std::string toString(GateType t);
 std::pair<int, int> arityOf(GateType t);
 
 /// Evaluates one gate over 4-valued inputs.
-Logic evalGate(GateType t, const std::vector<Logic>& ins);
+Logic evalGate(GateType t, const Logic* ins, int n);
+
+inline Logic evalGate(GateType t, const std::vector<Logic>& ins) {
+  return evalGate(t, ins.data(), static_cast<int>(ins.size()));
+}
 
 struct GateNode {
   GateType type;
@@ -145,6 +149,13 @@ class NetlistEvaluator {
   /// Returns the value of every net.
   std::vector<Logic> evaluate(const Word& inputs,
                               std::optional<StuckFault> fault = {}) const;
+
+  /// Allocation-friendly variant: writes every net value into `values`
+  /// (resized to netCount()). Reusing `values` across calls keeps steady-
+  /// state evaluation free of heap traffic — the path RMI-served single
+  /// evaluations take.
+  void evaluateInto(const Word& inputs, std::vector<Logic>& values,
+                    std::optional<StuckFault> fault = {}) const;
 
   /// Extracts the primary-output word from a net-value vector.
   Word outputsOf(const std::vector<Logic>& netValues) const;

@@ -7,6 +7,7 @@ PrivateComponent::PrivateComponent(std::shared_ptr<const gate::Netlist> netlist,
                                    int computeScale)
     : netlist_(std::move(netlist)),
       evaluator_(*netlist_),
+      packed_(*netlist_),
       tech_(tech),
       collapsed_(fault::collapseAll(*netlist_, dominance,
                                     /*includePrimaryInputs=*/false,
@@ -19,10 +20,13 @@ Word PrivateComponent::eval(const Word& inputs) {
     history_.push_back(inputs);
     ++evalCount_;
   }
-  Word out = evaluator_.evalOutputs(inputs);
+  std::vector<Logic> values;  // scratch reused across the calibration loop
+  evaluator_.evaluateInto(inputs, values);
+  Word out = evaluator_.outputsOf(values);
   for (int i = 1; i < computeScale_; ++i) {
     // Calibrated extra work standing in for a heavyweight backend.
-    out = evaluator_.evalOutputs(inputs);
+    evaluator_.evaluateInto(inputs, values);
+    out = evaluator_.outputsOf(values);
   }
   return out;
 }
@@ -56,7 +60,12 @@ std::vector<std::string> PrivateComponent::faultList() const {
 
 fault::DetectionTable PrivateComponent::detectionTable(
     const Word& inputs) const {
-  return fault::buildDetectionTable(evaluator_, collapsed_, inputs);
+  return std::move(fault::buildDetectionTables(packed_, collapsed_, {inputs})[0]);
+}
+
+std::vector<fault::DetectionTable> PrivateComponent::detectionTables(
+    const std::vector<Word>& inputs) const {
+  return fault::buildDetectionTables(packed_, collapsed_, inputs);
 }
 
 std::size_t PrivateComponent::evalCount() const {

@@ -47,12 +47,19 @@ class PrivateComponent {
   /// Phase-2 data: the detection table for one input configuration.
   fault::DetectionTable detectionTable(const Word& inputs) const;
 
+  /// Phase-2 data, batched: one table per buffered input configuration, in
+  /// order, built on the packed bit-parallel engine (64 configurations per
+  /// fault pass). Identical to calling detectionTable() per entry.
+  std::vector<fault::DetectionTable> detectionTables(
+      const std::vector<Word>& inputs) const;
+
   const gate::Netlist& netlist() const { return *netlist_; }
   std::size_t evalCount() const;
 
  private:
   std::shared_ptr<const gate::Netlist> netlist_;
   gate::NetlistEvaluator evaluator_;
+  gate::PackedEvaluator packed_;
   gate::TechParams tech_;
   fault::CollapsedFaults collapsed_;
   int computeScale_;
