@@ -40,18 +40,34 @@ void Circuit::visitLeaves(const std::function<void(Module&)>& fn) {
   }
 }
 
-void Circuit::clearSchedulerState(std::uint32_t schedulerId) {
-  visitLeaves([&](Module& m) { m.clearStateFor(schedulerId); });
-  clearConnectorValues(schedulerId);
-}
-
-void Circuit::clearConnectorValues(std::uint32_t schedulerId) {
-  for (const auto& conn : connectors_) conn->clearValue(schedulerId);
+void Circuit::clearSchedulerState(std::uint32_t slot) {
+  // The circuit and its sub-circuits are modules in their own right (open
+  // ports on hierarchy boundaries latch emitted values), so clearing only
+  // the leaves leaked their lanes. Clear every module in the subtree.
+  clearStateFor(slot);
   for (const auto& m : submodules_) {
     if (auto* sub = dynamic_cast<Circuit*>(m.get())) {
-      sub->clearConnectorValues(schedulerId);
+      sub->clearSchedulerState(slot);
+    } else {
+      m->clearStateFor(slot);
     }
   }
+  for (const auto& conn : connectors_) conn->clearValue(slot);
+}
+
+std::size_t Circuit::residualStateCount(std::uint32_t slot) const {
+  std::size_t n = hasLiveStateFor(slot) ? 1 : 0;
+  for (const auto& m : submodules_) {
+    if (const auto* sub = dynamic_cast<const Circuit*>(m.get())) {
+      n += sub->residualStateCount(slot);
+    } else if (m->hasLiveStateFor(slot)) {
+      ++n;
+    }
+  }
+  for (const auto& conn : connectors_) {
+    if (conn->hasLiveValue(slot)) ++n;
+  }
+  return n;
 }
 
 std::size_t Circuit::leafCount() {

@@ -59,14 +59,20 @@ class Circuit : public Module {
   /// Total number of leaf modules in the subtree.
   std::size_t leafCount();
 
-  /// Releases everything one scheduler stored in this subtree (module state
-  /// and connector values). Call after a short-lived simulation run so
-  /// per-scheduler lookup tables stay bounded during large campaigns.
-  void clearSchedulerState(std::uint32_t schedulerId);
+  /// Physically releases everything one scheduler slot stored in this
+  /// subtree: module state and connector values of the circuit itself, of
+  /// every submodule — including hierarchical sub-circuits, which are
+  /// modules too and were historically missed because only *leaves* were
+  /// cleared — and of every nested connector.
+  void clearSchedulerState(std::uint32_t slot);
+
+  /// Number of modules/connectors in this subtree (the circuit itself
+  /// included) still holding state stamped with the slot's current registry
+  /// generation. Campaigns assert this is 0 after their final clear; the
+  /// count ignores stale-generation entries, which are logically invisible.
+  std::size_t residualStateCount(std::uint32_t slot) const;
 
  private:
-  void clearConnectorValues(std::uint32_t schedulerId);
-
   std::vector<std::unique_ptr<Module>> submodules_;
   std::vector<std::unique_ptr<Connector>> connectors_;
 };

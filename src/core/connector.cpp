@@ -10,6 +10,7 @@ Connector::Connector(int width, std::string name)
     throw std::invalid_argument("Connector width out of range: " +
                                 std::to_string(width));
   }
+  values_.resize(SlotRegistry::kCapacity);
 }
 
 void Connector::attach(Port& port) {
@@ -50,31 +51,32 @@ Port* Connector::peerOf(const Port& port) const {
   return nullptr;
 }
 
-Word Connector::value(std::uint32_t schedulerId) const {
-  std::lock_guard<std::mutex> lock(valuesMutex_);
-  auto it = values_.find(schedulerId);
-  return it != values_.end() ? it->second : Word::allX(width_);
-}
-
-void Connector::setValue(std::uint32_t schedulerId, const Word& w) {
+void Connector::setValue(std::uint32_t slot, std::uint32_t generation,
+                         const Word& w) {
   if (w.width() != width_) {
     throw std::invalid_argument("Connector '" + name_ + "': value width " +
                                 std::to_string(w.width()) +
                                 " does not match connector width " +
                                 std::to_string(width_));
   }
-  std::lock_guard<std::mutex> lock(valuesMutex_);
-  values_[schedulerId] = w;
+  SlotValue& e = values_[slot];
+  e.generation = generation;
+  e.value = w;
 }
 
-void Connector::clearValue(std::uint32_t schedulerId) {
-  std::lock_guard<std::mutex> lock(valuesMutex_);
-  values_.erase(schedulerId);
+void Connector::clearValue(std::uint32_t slot) {
+  if (slot >= values_.size()) return;
+  values_[slot].generation = 0;
 }
 
 void Connector::clearAllValues() {
-  std::lock_guard<std::mutex> lock(valuesMutex_);
-  values_.clear();
+  for (SlotValue& e : values_) e.generation = 0;
+}
+
+bool Connector::hasLiveValue(std::uint32_t slot) const {
+  const SlotValue& e = values_[slot];
+  return e.generation != 0 &&
+         e.generation == SlotRegistry::global().currentGeneration(slot);
 }
 
 }  // namespace vcad

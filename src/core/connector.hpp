@@ -8,16 +8,19 @@
 //
 // The connector also holds the *current value* of the link — independently
 // for every scheduler, so concurrent simulations of the same design never
-// interfere.
+// interfere. Values live in a flat per-slot array of the simulation-state
+// arena (see slot_registry.hpp): the hot-path accessors take the owning
+// scheduler's (slot, generation) pair and are a single lock-free array
+// index; an entry whose stamped generation does not match the reader's
+// reads as all-X, which is how released/reset slots are cleared in O(1).
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/port.hpp"
+#include "core/slot_registry.hpp"
 #include "core/word.hpp"
 
 namespace vcad {
@@ -44,23 +47,48 @@ class Connector {
 
   const std::vector<Port*>& endpoints() const { return endpoints_; }
 
-  /// Current value as observed by scheduler `schedulerId`; all-X before the
-  /// first event of that scheduler.
-  Word value(std::uint32_t schedulerId) const;
-  void setValue(std::uint32_t schedulerId, const Word& w);
+  /// Hot-path accessors: value as observed by the scheduler owning `slot`
+  /// at `generation` (all-X before the run's first event on this link).
+  /// Lock-free array indexing — a slot is only ever touched by the thread
+  /// running its scheduler, so no synchronization is needed.
+  Word value(std::uint32_t slot, std::uint32_t generation) const {
+    const SlotValue& e = values_[slot];
+    return e.generation == generation ? e.value : Word::allX(width_);
+  }
+  void setValue(std::uint32_t slot, std::uint32_t generation, const Word& w);
 
-  /// Drops the per-scheduler value of one scheduler (used when a scheduler
-  /// is destroyed) or of all schedulers.
-  void clearValue(std::uint32_t schedulerId);
+  /// Compat accessors addressed by scheduler id alone: resolve the slot's
+  /// current generation through the registry (one atomic load). Simulation
+  /// internals use the (slot, generation) fast path instead; these serve
+  /// tests and controllers that observe a live scheduler's results.
+  Word value(std::uint32_t schedulerId) const {
+    return value(schedulerId, SlotRegistry::global().currentGeneration(schedulerId));
+  }
+  void setValue(std::uint32_t schedulerId, const Word& w) {
+    setValue(schedulerId, SlotRegistry::global().currentGeneration(schedulerId), w);
+  }
+
+  /// Physically drops the value stored for one slot, or for all slots.
+  void clearValue(std::uint32_t slot);
   void clearAllValues();
 
+  /// True when the slot holds a value stamped with its current registry
+  /// generation (debug/leak assertions: a finished campaign must leave no
+  /// live value behind).
+  bool hasLiveValue(std::uint32_t slot) const;
+
  private:
+  struct SlotValue {
+    std::uint32_t generation = 0;  // 0 = never written (registry gens >= 1)
+    Word value;
+  };
+
   int width_;
   std::string name_;
   std::vector<Port*> endpoints_;
-
-  mutable std::mutex valuesMutex_;
-  std::unordered_map<std::uint32_t, Word> values_;
+  // One lane per arena slot, sized once at construction so concurrent
+  // simulations can never trigger a reallocation race.
+  std::vector<SlotValue> values_;
 };
 
 /// Single-bit connector for gate-level links.

@@ -7,7 +7,9 @@
 
 namespace vcad {
 
-Module::Module(std::string name) : name_(std::move(name)) {}
+Module::Module(std::string name) : name_(std::move(name)) {
+  stateSlots_.resize(SlotRegistry::kCapacity);
+}
 
 Module::~Module() = default;
 
@@ -126,8 +128,8 @@ void Module::emit(SimContext& ctx, Port& out, const Word& value,
   Connector* conn = out.connector();
   if (conn == nullptr) {
     // Open port: record the value so tests / controllers can observe it.
-    std::lock_guard<std::mutex> lock(stateMutex_);
-    openPortValues_[ctx.scheduler.id()][out.name()] = value;
+    liveSlot(ctx.scheduler.slot(), ctx.scheduler.slotGeneration())
+        .openPorts[out.name()] = value;
     return;
   }
   Port* peer = conn->peerOf(out);
@@ -147,29 +149,42 @@ void Module::selfSchedule(SimContext& ctx, SimTime delay, int tag) {
 Word Module::readInput(const SimContext& ctx, const Port& in) const {
   const Connector* conn = in.connector();
   if (conn == nullptr) return Word::allX(in.width());
-  return conn->value(ctx.scheduler.id());
+  return conn->value(ctx.scheduler.slot(), ctx.scheduler.slotGeneration());
 }
 
 Word Module::lastDriven(const SimContext& ctx, const Port& out) const {
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  auto sit = openPortValues_.find(ctx.scheduler.id());
-  if (sit != openPortValues_.end()) {
-    auto pit = sit->second.find(out.name());
-    if (pit != sit->second.end()) return pit->second;
+  // Read-only: a stale lane is left untouched and reads as all-X.
+  const StateSlot& e = stateSlots_[ctx.scheduler.slot()];
+  if (e.generation == ctx.scheduler.slotGeneration()) {
+    auto pit = e.openPorts.find(out.name());
+    if (pit != e.openPorts.end()) return pit->second;
   }
   return Word::allX(out.width());
 }
 
 void Module::clearAllState() {
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  stateLut_.clear();
-  openPortValues_.clear();
+  for (StateSlot& e : stateSlots_) {
+    e.generation = 0;
+    e.state.reset();
+    e.openPorts.clear();
+  }
 }
 
-void Module::clearStateFor(std::uint32_t schedulerId) {
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  stateLut_.erase(schedulerId);
-  openPortValues_.erase(schedulerId);
+void Module::clearStateFor(std::uint32_t slot) {
+  if (slot >= stateSlots_.size()) return;
+  StateSlot& e = stateSlots_[slot];
+  e.generation = 0;
+  e.state.reset();
+  e.openPorts.clear();
+}
+
+bool Module::hasLiveStateFor(std::uint32_t slot) const {
+  const StateSlot& e = stateSlots_[slot];
+  if (e.generation == 0) return false;
+  if (e.generation != SlotRegistry::global().currentGeneration(slot)) {
+    return false;
+  }
+  return e.state != nullptr || !e.openPorts.empty();
 }
 
 }  // namespace vcad

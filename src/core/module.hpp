@@ -6,9 +6,13 @@
 // connections.
 //
 // Per-simulation internal state is never stored in plain member variables:
-// it lives in a lookup table addressed by scheduler id (state()), so that
-// concurrent simulations of the same design in different schedulers cannot
-// interfere.
+// it lives in the slot-indexed state arena (state()), one flat lane per
+// scheduler slot, so that concurrent simulations of the same design in
+// different schedulers cannot interfere. Lanes are validated against the
+// owning scheduler's slot generation: a stale lane (its scheduler was
+// destroyed or reset()) is lazily dropped and rebuilt on first touch, so no
+// explicit clearing is needed between runs. Access is lock-free — a slot is
+// only ever touched by the thread running its scheduler.
 //
 // Estimator management follows the paper: providers register *candidate*
 // estimators with addEstimator(); a SetupController then *binds* one
@@ -29,6 +33,7 @@
 #include "core/port.hpp"
 #include "core/scheduler.hpp"
 #include "core/sim_time.hpp"
+#include "core/slot_registry.hpp"
 #include "core/token.hpp"
 
 namespace vcad {
@@ -133,28 +138,58 @@ class Module {
   Word lastDriven(const SimContext& ctx, const Port& out) const;
 
   /// Per-scheduler state accessor. S must derive from ModuleState and be
-  /// default-constructible; it is created on first access by each scheduler.
+  /// default-constructible; it is created on first access by each run. The
+  /// (slot, generation) overload is the lock-free simulation path; the
+  /// by-scheduler-id overload resolves the current generation through the
+  /// registry for tests/controllers observing a live scheduler.
   template <typename S>
   S& state(const SimContext& ctx);
   template <typename S>
+  S& stateFor(std::uint32_t slot, std::uint32_t generation);
+  template <typename S>
   S& stateFor(std::uint32_t schedulerId);
 
-  /// Drops per-scheduler state (all schedulers).
+  /// Physically drops per-slot state (all slots).
   void clearAllState();
 
-  /// Drops the state one scheduler accumulated in this module. Long fault
-  /// campaigns create many short-lived schedulers; releasing their entries
-  /// keeps the per-module lookup tables bounded.
-  void clearStateFor(std::uint32_t schedulerId);
+  /// Physically drops the state one slot accumulated in this module.
+  /// Generation bumps already clear state *logically*; campaigns call this
+  /// at the end so long-lived designs do not pin the last run's objects.
+  void clearStateFor(std::uint32_t slot);
+
+  /// True when the slot holds state stamped with its current registry
+  /// generation (debug/leak assertions).
+  bool hasLiveStateFor(std::uint32_t slot) const;
 
  private:
+  /// One arena lane: module state and open-port values a scheduler slot
+  /// wrote, stamped with the slot generation current at write time. A lane
+  /// whose generation does not match the accessing run's is stale and is
+  /// dropped before reuse.
+  struct StateSlot {
+    std::uint32_t generation = 0;  // 0 = never written
+    std::unique_ptr<ModuleState> state;
+    std::unordered_map<std::string, Word> openPorts;
+  };
+
+  /// Write-path lane accessor: invalidates a stale lane and stamps the
+  /// caller's generation.
+  StateSlot& liveSlot(std::uint32_t slot, std::uint32_t generation) {
+    StateSlot& e = stateSlots_[slot];
+    if (e.generation != generation) {
+      e.state.reset();
+      e.openPorts.clear();
+      e.generation = generation;
+    }
+    return e;
+  }
+
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
 
-  mutable std::mutex stateMutex_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<ModuleState>> stateLut_;
-  std::unordered_map<std::uint32_t, std::unordered_map<std::string, Word>>
-      openPortValues_;
+  // One lane per arena slot, sized once at construction (reallocation under
+  // concurrent slot owners would be a race).
+  std::vector<StateSlot> stateSlots_;
 
   mutable std::mutex estimatorMutex_;
   std::unordered_map<int, std::vector<std::shared_ptr<Estimator>>> candidates_;
@@ -168,24 +203,29 @@ class Module {
 // --- template implementation ------------------------------------------
 
 template <typename S>
-S& Module::stateFor(std::uint32_t schedulerId) {
+S& Module::stateFor(std::uint32_t slot, std::uint32_t generation) {
   static_assert(std::is_base_of_v<ModuleState, S>,
                 "S must derive from ModuleState");
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  auto& slot = stateLut_[schedulerId];
-  if (!slot) slot = std::make_unique<S>();
-  S* typed = dynamic_cast<S*>(slot.get());
+  StateSlot& e = liveSlot(slot, generation);
+  if (!e.state) e.state = std::make_unique<S>();
+  S* typed = dynamic_cast<S*>(e.state.get());
   if (typed == nullptr) {
     throw std::logic_error("Module '" + name_ +
                            "': inconsistent state type for scheduler " +
-                           std::to_string(schedulerId));
+                           std::to_string(slot));
   }
   return *typed;
 }
 
 template <typename S>
+S& Module::stateFor(std::uint32_t schedulerId) {
+  return stateFor<S>(schedulerId,
+                     SlotRegistry::global().currentGeneration(schedulerId));
+}
+
+template <typename S>
 S& Module::state(const SimContext& ctx) {
-  return stateFor<S>(ctx.scheduler.id());
+  return stateFor<S>(ctx.scheduler.slot(), ctx.scheduler.slotGeneration());
 }
 
 }  // namespace vcad

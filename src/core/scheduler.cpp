@@ -6,15 +6,34 @@
 
 namespace vcad {
 
-std::atomic<Scheduler::Id> Scheduler::nextId_{1};
-
-Scheduler::Scheduler() : id_(nextId_.fetch_add(1)) {}
+Scheduler::Scheduler() {
+  const SlotRegistry::Lease lease = SlotRegistry::global().acquire();
+  slot_ = lease.slot;
+  generation_ = lease.generation;
+}
 
 Scheduler::~Scheduler() {
+  drainQueue();
+  // Returning the slot bumps its generation: every arena entry this run
+  // wrote is logically cleared without touching the design.
+  SlotRegistry::global().release(slot_);
+}
+
+void Scheduler::drainQueue() {
   while (!queue_.empty()) {
     delete queue_.top().token;
     queue_.pop();
   }
+}
+
+void Scheduler::reset() {
+  drainQueue();
+  overrides_.clear();
+  now_ = 0;
+  seq_ = 0;
+  dispatched_ = 0;
+  generation_ = SlotRegistry::global().renew(slot_);
+  ++resets_;
 }
 
 void Scheduler::schedule(std::unique_ptr<Token> token, SimTime delay) {

@@ -2,9 +2,13 @@
 //
 // Multiple schedulers can be instantiated and run in concurrent threads over
 // the same design without interference: all per-simulation state (connector
-// values, module internal state) is stored in lookup tables addressed by the
-// scheduler's unique id, and a module can only schedule a new token on the
-// scheduler that delivered the current one.
+// values, module internal state) lives in the flat slot-indexed state arena
+// (see slot_registry.hpp). Each scheduler leases one dense slot for its
+// lifetime — id() is that slot — and stamps every write with its current
+// slot generation, so hot-path state access is a lock-free array index and
+// reset()/destruction invalidate all of a run's state in O(1) by bumping
+// the generation. A module can only schedule a new token on the scheduler
+// that delivered the current one.
 //
 // The scheduler also implements the *output override* hook used by virtual
 // fault simulation: the simulation controller can replace a module's event
@@ -12,7 +16,6 @@
 // the module's outputs regardless of its inputs.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,6 +26,7 @@
 
 #include "core/log.hpp"
 #include "core/sim_time.hpp"
+#include "core/slot_registry.hpp"
 #include "core/token.hpp"
 
 namespace vcad {
@@ -41,8 +45,27 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  Id id() const { return id_; }
+  /// The arena slot leased by this scheduler; doubles as its unique id
+  /// among concurrently live schedulers. Slots are recycled after
+  /// destruction, so ids are NOT unique across time — per-run state is
+  /// disambiguated by slotGeneration().
+  Id id() const { return slot_; }
+  std::uint32_t slot() const { return slot_; }
+  /// The slot generation this scheduler stamps on every state write; bumped
+  /// by reset(), which logically clears the run's state in O(1).
+  std::uint32_t slotGeneration() const { return generation_; }
+
   SimTime now() const { return now_; }
+
+  /// Returns the scheduler to its just-constructed state for reuse by a
+  /// pooled run: drains pending tokens, drops output overrides, rewinds
+  /// time, and renews the slot generation so every connector value and
+  /// module state written by the previous run reads as all-X / empty again
+  /// — no traversal of the design needed. Owner-thread only.
+  void reset();
+
+  /// Times this scheduler has been reset() (pool-reuse accounting).
+  std::uint64_t resets() const { return resets_; }
 
   /// The setup in effect for tokens dispatched by this scheduler; passed to
   /// modules in the SimContext of every delivery.
@@ -105,12 +128,14 @@ class Scheduler {
     }
   };
 
-  static std::atomic<Id> nextId_;
+  void drainQueue();
 
-  Id id_;
+  std::uint32_t slot_;
+  std::uint32_t generation_;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t resets_ = 0;
   const SetupController* setup_ = nullptr;
   LogSink* trace_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;

@@ -50,6 +50,11 @@ SimulationController::SimulationController(Circuit& design,
   }
 }
 
+void SimulationController::reset() {
+  scheduler_.reset();
+  initialized_ = false;
+}
+
 void SimulationController::initialize() {
   if (initialized_) return;
   initialized_ = true;

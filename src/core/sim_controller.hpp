@@ -65,6 +65,14 @@ class SimulationController {
   /// their first events here). Idempotent.
   void initialize();
 
+  /// Returns the controller to its just-constructed state for another run:
+  /// the scheduler drains, drops forced outputs, rewinds time, and renews
+  /// its slot generation, which logically clears every connector value and
+  /// module state of the previous run in O(1). Pooled campaign workers
+  /// reset-and-reuse one controller per lane instead of paying
+  /// construct/destroy (and slot lease churn) per injection.
+  void reset();
+
   /// Runs the simulation until the event queue drains (or `until` passes).
   /// Calls initialize() first if needed. Returns delivered event count.
   std::size_t start(SimTime until = kSimTimeMax);

@@ -1,0 +1,88 @@
+#include "core/slot_registry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vcad {
+
+SlotRegistry::SlotRegistry() {
+  // Slot 0 is reserved so no scheduler ever reports id 0 (ids historically
+  // started at 1, and 0 reads naturally as "no scheduler" in diagnostics).
+  freeList_.reserve(kCapacity - 1);
+  for (std::uint32_t s = kCapacity; s-- > 1;) freeList_.push_back(s);
+  for (auto& g : generations_) g.store(1, std::memory_order_relaxed);
+}
+
+SlotRegistry::Lease SlotRegistry::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (freeList_.empty()) {
+    throw std::runtime_error(
+        "SlotRegistry: out of scheduler slots (capacity " +
+        std::to_string(kCapacity) +
+        "): too many concurrently live Schedulers — destroy or reset() "
+        "finished simulations before creating more");
+  }
+  const std::uint32_t slot = freeList_.back();
+  freeList_.pop_back();
+  ++leased_;
+  ++totalLeases_;
+  if (leased_ > peakLeased_) peakLeased_ = leased_;
+  return Lease{slot, generations_[slot].load(std::memory_order_relaxed)};
+}
+
+void SlotRegistry::release(std::uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (slot == 0 || slot >= kCapacity) {
+    throw std::out_of_range("SlotRegistry::release: bad slot " +
+                            std::to_string(slot));
+  }
+  // Invalidate everything the leaseholder wrote: entries stamped with the
+  // old generation no longer match and read as all-X / empty.
+  generations_[slot].fetch_add(1, std::memory_order_release);
+  freeList_.push_back(slot);
+  --leased_;
+}
+
+std::uint32_t SlotRegistry::renew(std::uint32_t slot) {
+  if (slot >= kCapacity) {
+    throw std::out_of_range("SlotRegistry::renew: bad slot " +
+                            std::to_string(slot));
+  }
+  return generations_[slot].fetch_add(1, std::memory_order_release) + 1;
+}
+
+std::uint32_t SlotRegistry::currentGeneration(std::uint32_t slot) const {
+  if (slot >= kCapacity) {
+    throw std::out_of_range(
+        "SlotRegistry: scheduler id " + std::to_string(slot) +
+        " exceeds arena capacity " + std::to_string(kCapacity));
+  }
+  return generations_[slot].load(std::memory_order_acquire);
+}
+
+std::uint32_t SlotRegistry::leased() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leased_;
+}
+
+std::uint32_t SlotRegistry::peakLeased() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peakLeased_;
+}
+
+std::uint64_t SlotRegistry::totalLeases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totalLeases_;
+}
+
+void SlotRegistry::restartPeakTracking() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peakLeased_ = leased_;
+}
+
+SlotRegistry& SlotRegistry::global() {
+  static SlotRegistry registry;
+  return registry;
+}
+
+}  // namespace vcad

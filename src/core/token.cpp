@@ -25,9 +25,11 @@ SignalToken::SignalToken(Port& target, Word value)
 }
 
 void SignalToken::deliver(SimContext& ctx) {
-  // The value becomes observable on the link at delivery time.
+  // The value becomes observable on the link at delivery time. Lock-free
+  // arena write: the delivering scheduler owns its slot.
   if (Connector* conn = target_->connector()) {
-    conn->setValue(ctx.scheduler.id(), value_);
+    conn->setValue(ctx.scheduler.slot(), ctx.scheduler.slotGeneration(),
+                   value_);
   }
   Module& m = target_->module();
   // Fault-injection hook: if the simulation controller installed an output
@@ -52,7 +54,8 @@ LatchToken::LatchToken(Connector& conn, Word value)
     : conn_(&conn), value_(std::move(value)) {}
 
 void LatchToken::deliver(SimContext& ctx) {
-  conn_->setValue(ctx.scheduler.id(), value_);
+  conn_->setValue(ctx.scheduler.slot(), ctx.scheduler.slotGeneration(),
+                  value_);
 }
 
 std::string LatchToken::describe() const {

@@ -1,109 +1,16 @@
 #include "fault/parallel_campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <stdexcept>
-#include <thread>
+
+#include "core/slot_registry.hpp"
+#include "fault/worker_pool.hpp"
 
 namespace vcad::fault {
-namespace {
-
-/// Minimal persistent worker pool: parallelFor shards [0, count) across the
-/// workers via an atomic index and blocks the caller until every worker has
-/// drained the range. Persistent threads avoid per-pattern spawn churn,
-/// which would otherwise eat the speedup on small designs. The first
-/// exception a job throws is captured and rethrown on the calling thread.
-class WorkerPool {
- public:
-  explicit WorkerPool(std::size_t threads) {
-    threads_.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i) {
-      threads_.emplace_back([this] { workerLoop(); });
-    }
-  }
-
-  ~WorkerPool() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
-    }
-    wake_.notify_all();
-    for (std::thread& t : threads_) t.join();
-  }
-
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-
-  void parallelFor(std::size_t count,
-                   const std::function<void(std::size_t)>& fn) {
-    if (count == 0) return;
-    if (threads_.empty()) {
-      for (std::size_t i = 0; i < count; ++i) fn(i);
-      return;
-    }
-    std::unique_lock<std::mutex> lock(mutex_);
-    job_ = &fn;
-    count_ = count;
-    next_.store(0, std::memory_order_relaxed);
-    remaining_ = threads_.size();
-    ++generation_;
-    wake_.notify_all();
-    // remaining_ hits zero only after every worker has both observed this
-    // generation and exhausted the index range, so the job/count references
-    // stay valid for exactly as long as any worker can touch them.
-    done_.wait(lock, [this] { return remaining_ == 0; });
-    job_ = nullptr;
-    if (error_) {
-      std::exception_ptr e = error_;
-      error_ = nullptr;
-      std::rethrow_exception(e);
-    }
-  }
-
- private:
-  void workerLoop() {
-    std::uint64_t seen = 0;
-    for (;;) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      const std::function<void(std::size_t)>* job = job_;
-      const std::size_t count = count_;
-      lock.unlock();
-      for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-           i < count; i = next_.fetch_add(1, std::memory_order_relaxed)) {
-        try {
-          (*job)(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> g(mutex_);
-          if (!error_) error_ = std::current_exception();
-        }
-      }
-      lock.lock();
-      if (--remaining_ == 0) done_.notify_one();
-    }
-  }
-
-  std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t count_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::size_t remaining_ = 0;
-  std::uint64_t generation_ = 0;
-  std::exception_ptr error_;
-  bool stop_ = false;
-};
-
-}  // namespace
 
 ParallelFaultSimulator::ParallelFaultSimulator(
     Circuit& design, std::vector<FaultClient*> components,
@@ -143,6 +50,10 @@ void ParallelFaultSimulator::applyPattern(SimulationController& sim,
 
 CampaignResult ParallelFaultSimulator::run(
     const std::vector<std::vector<Word>>& patterns) {
+  SlotRegistry& registry = SlotRegistry::global();
+  const std::uint64_t leasesBefore = registry.totalLeases();
+  registry.restartPeakTracking();
+
   CampaignResult res;
 
   // --- Phase 1: compose the symbolic fault lists (identical to serial) ----
@@ -155,8 +66,17 @@ CampaignResult ParallelFaultSimulator::run(
   }
 
   // Workers beyond the job count just park; one thread means run inline.
+  // Each lane pins one pooled controller — one arena slot — for the whole
+  // campaign; lane w is only ever driven by pool thread w, so the slot
+  // arena's thread-ownership rule makes every state access lock-free.
   WorkerPool pool(config_.threads > 1 ? config_.threads : 0);
-  std::mutex detectedMutex;
+  std::vector<std::unique_ptr<SimulationController>> lanes(pool.lanes());
+  for (auto& lane : lanes) {
+    lane = std::make_unique<SimulationController>(design_);
+  }
+  res.injectionWorkers = config_.threads;
+  res.workerInjections.assign(pool.lanes(), 0);
+  std::vector<std::uint64_t> laneResets(pool.lanes(), 0);
 
   // Per-component table cache keyed by observed input configuration, as in
   // the serial engine. std::map nodes are stable, so tables can be bound by
@@ -164,8 +84,6 @@ CampaignResult ParallelFaultSimulator::run(
   std::vector<std::map<std::string, DetectionTable>> cache(components_.size());
 
   struct PatternRun {
-    std::unique_ptr<SimulationController> sim;  // kept alive through the
-                                                // pattern's injections
     std::vector<Word> golden;      // fault-free primary-output snapshot
     std::vector<Word> compInputs;  // observed inputs, one per component
   };
@@ -176,17 +94,21 @@ CampaignResult ParallelFaultSimulator::run(
         std::min(base + config_.batchSize, patterns.size());
     const std::size_t nBatch = batchEnd - base;
 
-    // --- Fault-free reference runs for the batch (concurrent: each run has
-    // its own scheduler, so the state LUTs keep them independent). --------
+    // --- Fault-free reference runs for the batch, on the pooled lanes:
+    // golden responses and observed component inputs are snapshotted inside
+    // the job, so no controller has to outlive its run. ------------------
     std::vector<PatternRun> runs(nBatch);
-    pool.parallelFor(nBatch, [&](std::size_t i) {
+    pool.parallelFor(nBatch, [&](std::size_t w, std::size_t i) {
+      SimulationController& sim = *lanes[w];
+      sim.reset();
+      ++laneResets[w];
+      applyPattern(sim, patterns[base + i]);
       PatternRun& pr = runs[i];
-      pr.sim = std::make_unique<SimulationController>(design_);
-      applyPattern(*pr.sim, patterns[base + i]);
-      const SimContext ctx{pr.sim->scheduler(), nullptr};
+      const SimContext ctx{sim.scheduler(), nullptr};
       pr.golden.reserve(pos_.size());
       for (Connector* po : pos_) {
-        pr.golden.push_back(po->value(pr.sim->scheduler().id()));
+        pr.golden.push_back(po->value(sim.scheduler().slot(),
+                                      sim.scheduler().slotGeneration()));
       }
       pr.compInputs.reserve(components_.size());
       for (FaultClient* comp : components_) {
@@ -257,11 +179,13 @@ CampaignResult ParallelFaultSimulator::run(
 
     // --- Injections: patterns commit strictly in order (preserving the
     // per-pattern coverage curve); within a pattern, the row jobs shard
-    // across the pool. ----------------------------------------------------
+    // across the pooled lanes, each job reset-and-reusing its lane instead
+    // of constructing a controller. ---------------------------------------
     for (std::size_t i = 0; i < nBatch; ++i) {
       struct Job {
         std::size_t comp;
         const DetectionTable::Row* row;
+        bool observable = false;
       };
       std::vector<Job> jobs;
       for (std::size_t c = 0; c < components_.size(); ++c) {
@@ -273,39 +197,53 @@ CampaignResult ParallelFaultSimulator::run(
               break;
             }
           }
-          if (anyUndetected) jobs.push_back(Job{c, &row});
+          if (anyUndetected) jobs.push_back(Job{c, &row, false});
         }
       }
 
       const std::vector<Word>& pattern = patterns[base + i];
       const PatternRun& pr = runs[i];
-      pool.parallelFor(jobs.size(), [&](std::size_t j) {
-        const Job& job = jobs[j];
+      pool.parallelFor(jobs.size(), [&](std::size_t w, std::size_t j) {
+        Job& job = jobs[j];
         FaultClient& comp = *components_[job.comp];
-        SimulationController inj(design_);
+        SimulationController& inj = *lanes[w];
+        inj.reset();
+        ++laneResets[w];
         inj.forceOutputs(comp.module(), comp.overridesFor(job.row->faultyOutput));
         applyPattern(inj, pattern);
-        bool observable = false;
         for (std::size_t k = 0; k < pos_.size(); ++k) {
-          if (pos_[k]->value(inj.scheduler().id()) != pr.golden[k]) {
-            observable = true;
+          if (pos_[k]->value(inj.scheduler().slot(),
+                             inj.scheduler().slotGeneration()) !=
+              pr.golden[k]) {
+            job.observable = true;
             break;
           }
         }
-        if (observable) {
-          std::lock_guard<std::mutex> lock(detectedMutex);
-          for (const std::string& f : job.row->faults) {
-            res.detected.insert(prefixes[job.comp] + f);
-          }
-        }
-        design_.clearSchedulerState(inj.scheduler().id());
+        ++res.workerInjections[w];
       });
 
+      // Merge after the pool barrier — no detected-set mutex needed.
+      for (const Job& job : jobs) {
+        if (!job.observable) continue;
+        for (const std::string& f : job.row->faults) {
+          res.detected.insert(prefixes[job.comp] + f);
+        }
+      }
       res.injections += jobs.size();
       res.detectedAfterPattern.push_back(res.detected.size());
-      design_.clearSchedulerState(pr.sim->scheduler().id());
     }
   }
+
+  // Physically release the lanes' arena entries before the controllers die
+  // so a finished campaign leaves nothing behind, then verify it.
+  for (auto& lane : lanes) {
+    design_.clearSchedulerState(lane->scheduler().id());
+    assert(design_.residualStateCount(lane->scheduler().slot()) == 0 &&
+           "clearSchedulerState left live lane state behind");
+  }
+  for (std::uint64_t r : laneResets) res.schedulerResets += r;
+  res.slotsLeased = registry.totalLeases() - leasesBefore;
+  res.peakConcurrentSchedulers = registry.peakLeased();
   return res;
 }
 

@@ -13,11 +13,13 @@
 //     characterization). The NetworkModel is charged one message pair per
 //     batch instead of one per configuration.
 //   * Parallel injection: the per-row fault-injection jobs of each pattern
-//     shard across N worker threads. Each job runs in its own
-//     SimulationController — its own scheduler id — so the backplane's
-//     per-scheduler state LUTs isolate the concurrent runs with no reset or
-//     save/restore, exactly the paper's multi-scheduler guarantee.
-//     Detected-fault sets merge under a mutex.
+//     shard across N worker threads. Each worker pins one pooled
+//     SimulationController — one slot of the state arena — for the whole
+//     campaign and reset()s it between jobs (an O(1) generation renew), so
+//     the backplane isolates the concurrent runs with no save/restore and
+//     no per-injection controller churn, exactly the paper's
+//     multi-scheduler guarantee. Per-job detection verdicts are recorded
+//     lock-free and merged after the pattern's pool barrier.
 //
 // Equivalence to the serial path: fault list, detected set, and the
 // per-pattern coverage curve (detectedAfterPattern) are identical. Patterns

@@ -1,7 +1,11 @@
 #include "fault/virtual_sim.hpp"
 
+#include <cassert>
 #include <map>
 #include <stdexcept>
+
+#include "core/slot_registry.hpp"
+#include "fault/worker_pool.hpp"
 
 namespace vcad::fault {
 
@@ -35,6 +39,16 @@ void VirtualFaultSimulator::applyPattern(SimulationController& sim,
 
 CampaignResult VirtualFaultSimulator::run(
     const std::vector<std::vector<Word>>& patterns) {
+  return injectionWorkers_ == 0 ? runSerialInjection(patterns)
+                                : runPooled(patterns);
+}
+
+CampaignResult VirtualFaultSimulator::runSerialInjection(
+    const std::vector<std::vector<Word>>& patterns) {
+  SlotRegistry& registry = SlotRegistry::global();
+  const std::uint64_t leasesBefore = registry.totalLeases();
+  registry.restartPeakTracking();
+
   CampaignResult res;
 
   // --- Phase 1: compose the symbolic fault lists -------------------------
@@ -120,8 +134,171 @@ CampaignResult VirtualFaultSimulator::run(
       }
     }
     design_.clearSchedulerState(ff.scheduler().id());
+    assert(design_.residualStateCount(ff.scheduler().slot()) == 0 &&
+           "clearSchedulerState left live state behind");
     res.detectedAfterPattern.push_back(res.detected.size());
   }
+
+  res.slotsLeased = registry.totalLeases() - leasesBefore;
+  res.peakConcurrentSchedulers = registry.peakLeased();
+  return res;
+}
+
+CampaignResult VirtualFaultSimulator::runPooled(
+    const std::vector<std::vector<Word>>& patterns) {
+  SlotRegistry& registry = SlotRegistry::global();
+  const std::uint64_t leasesBefore = registry.totalLeases();
+  registry.restartPeakTracking();
+
+  CampaignResult res;
+
+  // --- Phase 1: identical to the serial engine ---------------------------
+  std::vector<std::string> prefixes(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    prefixes[c] = components_[c]->module().name() + "/";
+    for (const std::string& s : components_[c]->faultList()) {
+      res.faultList.push_back(prefixes[c] + s);
+    }
+  }
+
+  // --- Phase 2: pooled concurrent injection ------------------------------
+  // One pinned controller per pool lane plus one for the fault-free
+  // reference run; all are leased once and reset-and-reused, so a whole
+  // campaign consumes injectionWorkers_ + 1 slots no matter how many
+  // patterns and injections it executes.
+  WorkerPool pool(injectionWorkers_ > 1 ? injectionWorkers_ : 0);
+  std::vector<std::unique_ptr<SimulationController>> lanes(pool.lanes());
+  for (auto& lane : lanes) {
+    lane = std::make_unique<SimulationController>(design_);
+  }
+  SimulationController ff(design_);
+  res.injectionWorkers = injectionWorkers_;
+  res.workerInjections.assign(pool.lanes(), 0);
+
+  std::vector<std::map<std::string, DetectionTable>> tableCache(
+      components_.size());
+
+  struct Job {
+    std::size_t comp;
+    const DetectionTable::Row* row;
+    bool observable = false;
+  };
+
+  bool firstPattern = true;
+  for (const std::vector<Word>& pattern : patterns) {
+    // Fault-free reference run on the pinned ff controller.
+    if (!firstPattern) {
+      ff.reset();
+      ++res.schedulerResets;
+    }
+    firstPattern = false;
+    applyPattern(ff, pattern);
+    const SimContext ffCtx{ff.scheduler(), nullptr};
+    std::vector<Word> goldenPo;
+    goldenPo.reserve(pos_.size());
+    for (Connector* po : pos_) {
+      goldenPo.push_back(po->value(ff.scheduler().id()));
+    }
+
+    // Table fetch stays serial on the coordinator, in component order, so
+    // the round-trip/cache accounting matches the serial engine exactly.
+    // Uncached tables must outlive this pattern's injection jobs; reserve
+    // keeps the row pointers stable.
+    std::vector<DetectionTable> freshTables;
+    freshTables.reserve(components_.size());
+    std::vector<Job> jobs;
+    for (std::size_t c = 0; c < components_.size(); ++c) {
+      FaultClient& comp = *components_[c];
+      const Word inputs = comp.observedInputs(ffCtx);
+      const DetectionTable* table = nullptr;
+      if (cacheTables_) {
+        auto& cache = tableCache[c];
+        const std::string cacheKey = inputs.toString();
+        auto cached = cache.find(cacheKey);
+        if (cached == cache.end()) {
+          cached = cache.emplace(cacheKey, comp.detectionTable(inputs)).first;
+          ++res.detectionTablesRequested;
+          ++res.tableFetchRoundTrips;
+        } else {
+          ++res.tableCacheHits;
+        }
+        table = &cached->second;
+      } else {
+        freshTables.push_back(comp.detectionTable(inputs));
+        ++res.detectionTablesRequested;
+        ++res.tableFetchRoundTrips;
+        table = &freshTables.back();
+      }
+
+      // Row skip decisions use the detected set as of pattern start. This
+      // reproduces the serial engine's per-row decisions exactly: rows of
+      // one table are fault-disjoint (a fault's faulty output under fixed
+      // inputs is unique, so each fault appears in exactly one row) and
+      // component fault names carry distinct "<module>/" prefixes, so
+      // nothing detected mid-pattern can overlap another pending row of
+      // the same pattern.
+      for (const DetectionTable::Row& row : table->rows()) {
+        bool anyUndetected = false;
+        for (const std::string& f : row.faults) {
+          if (res.detected.find(prefixes[c] + f) == res.detected.end()) {
+            anyUndetected = true;
+            break;
+          }
+        }
+        if (anyUndetected) jobs.push_back(Job{c, &row, false});
+      }
+    }
+
+    // Row injections shard across the lanes; lane w is only ever driven by
+    // pool thread w, so per-slot arena state needs no locks. Each job
+    // resets its lane (O(1) generation renew) instead of constructing a
+    // controller.
+    std::vector<std::uint64_t> laneResets(lanes.size(), 0);
+    pool.parallelFor(jobs.size(), [&](std::size_t w, std::size_t j) {
+      Job& job = jobs[j];
+      FaultClient& comp = *components_[job.comp];
+      SimulationController& inj = *lanes[w];
+      inj.reset();
+      ++laneResets[w];
+      inj.forceOutputs(comp.module(), comp.overridesFor(job.row->faultyOutput));
+      applyPattern(inj, pattern);
+      for (std::size_t k = 0; k < pos_.size(); ++k) {
+        if (pos_[k]->value(inj.scheduler().slot(),
+                           inj.scheduler().slotGeneration()) != goldenPo[k]) {
+          job.observable = true;
+          break;
+        }
+      }
+      ++res.workerInjections[w];
+    });
+
+    // Merge after the pool barrier, in job order (set union is
+    // order-independent, but determinism keeps this auditable).
+    for (const Job& job : jobs) {
+      if (!job.observable) continue;
+      for (const std::string& f : job.row->faults) {
+        res.detected.insert(prefixes[job.comp] + f);
+      }
+    }
+    res.injections += jobs.size();
+    for (std::uint64_t r : laneResets) res.schedulerResets += r;
+    res.detectedAfterPattern.push_back(res.detected.size());
+  }
+
+  // Pooled lanes are logically clean after every reset; physically release
+  // their arena entries before the controllers die so a finished campaign
+  // leaves nothing behind, then verify it.
+  design_.clearSchedulerState(ff.scheduler().id());
+  assert(design_.residualStateCount(ff.scheduler().slot()) == 0 &&
+         "clearSchedulerState left live ff state behind");
+  for (auto& lane : lanes) {
+    design_.clearSchedulerState(lane->scheduler().id());
+    assert(design_.residualStateCount(lane->scheduler().slot()) == 0 &&
+           "clearSchedulerState left live lane state behind");
+  }
+
+  res.slotsLeased = registry.totalLeases() - leasesBefore;
+  res.peakConcurrentSchedulers = registry.peakLeased();
   return res;
 }
 

@@ -15,9 +15,14 @@
 //                      fault-free response, every fault in the row is
 //                      detected and dropped from the list.
 //
-// The multi-scheduler backplane makes the injection runs free of any reset
-// or save/restore action: each injection uses a fresh scheduler whose state
-// cannot interfere with the fault-free run or with other injections.
+// The multi-scheduler backplane makes the injection runs free of any
+// save/restore action: each injection runs under its own scheduler slot,
+// whose state cannot interfere with the fault-free run or with other
+// injections. The serial engine (runSerialInjection) uses a fresh
+// controller per injection; setInjectionWorkers(n) switches phase 2 to a
+// pool of n workers, each with one pinned pooled scheduler reset-and-reused
+// across row injections running concurrently — bit-identical results by
+// construction (see runPooled).
 #pragma once
 
 #include <set>
@@ -47,6 +52,18 @@ struct CampaignResult {
   std::uint64_t injections = 0;
   std::uint64_t faultSimEvaluations = 0;  // serial baseline only
 
+  // Arena/scheduler metrics (perf-PR baseline): how many scheduler slots
+  // the campaign leased from the SlotRegistry, the high-water mark of
+  // concurrently live schedulers while it ran, and how often pooled
+  // controllers were reset-and-reused instead of reconstructed.
+  std::uint64_t slotsLeased = 0;
+  std::uint32_t peakConcurrentSchedulers = 0;
+  std::uint64_t schedulerResets = 0;
+  // Injection-worker pool shape and utilization: workerInjections[w] is the
+  // number of injection jobs lane w executed (empty for the serial path).
+  std::size_t injectionWorkers = 0;
+  std::vector<std::uint64_t> workerInjections;
+
   double coverage() const {
     return faultList.empty() ? 0.0
                              : static_cast<double>(detected.size()) /
@@ -64,19 +81,36 @@ class VirtualFaultSimulator {
                         std::vector<Connector*> primaryOutputs);
 
   /// Runs the two-phase campaign over the given patterns. Each pattern
-  /// holds one word per primary-input connector, in order.
+  /// holds one word per primary-input connector, in order. Dispatches to
+  /// the pooled phase-2 engine when setInjectionWorkers() was given a
+  /// worker count, to the serial engine otherwise; both produce the same
+  /// CampaignResult bit for bit (fault list, detected set, coverage curve,
+  /// table/cache/round-trip accounting).
   CampaignResult run(const std::vector<std::vector<Word>>& patterns);
 
   /// Convenience for all-single-bit primary inputs: bit i of each packed
   /// word drives primaryInputs[i].
   CampaignResult runPacked(const std::vector<Word>& packedPatterns);
 
+  /// The serial phase-2 reference engine: one injection at a time, a fresh
+  /// controller per injection. Kept public for differential testing against
+  /// the pooled path.
+  CampaignResult runSerialInjection(
+      const std::vector<std::vector<Word>>& patterns);
+
   /// Client-side detection-table caching (default on): a component whose
   /// input configuration repeats across patterns is served from the cache
   /// instead of a fresh provider round trip.
   void setTableCache(bool on) { cacheTables_ = on; }
 
+  /// Phase-2 injection worker pool size. 0 (default) selects the serial
+  /// engine; n >= 1 runs each pattern's row injections across n lanes with
+  /// one pinned pooled scheduler per lane, reset-and-reused between jobs.
+  void setInjectionWorkers(std::size_t n) { injectionWorkers_ = n; }
+  std::size_t injectionWorkers() const { return injectionWorkers_; }
+
  private:
+  CampaignResult runPooled(const std::vector<std::vector<Word>>& patterns);
   /// Simulates one pattern fault-free; fills PO snapshot; returns the
   /// controller (kept alive so component input configurations can be read).
   void applyPattern(SimulationController& sim,
@@ -87,6 +121,7 @@ class VirtualFaultSimulator {
   std::vector<Connector*> pis_;
   std::vector<Connector*> pos_;
   bool cacheTables_ = true;
+  std::size_t injectionWorkers_ = 0;
 };
 
 /// Expands packed single-bit patterns (bit i -> primary input i) into the

@@ -1,0 +1,120 @@
+// Minimal persistent worker pool shared by the campaign engines.
+//
+// parallelFor shards [0, count) across the workers via an atomic index and
+// blocks the caller until every worker has drained the range. Persistent
+// threads avoid per-pattern spawn churn, which would otherwise eat the
+// speedup on small designs. The first exception a job throws is captured
+// and rethrown on the calling thread.
+//
+// Jobs receive (workerIdx, jobIdx): workerIdx identifies the executing lane
+// (0 <= workerIdx < max(1, threads)), stable for the lifetime of the pool,
+// which is what lets campaign engines pin one pooled SimulationController
+// per lane — the slot arena's thread-ownership rule holds because lane w is
+// only ever driven by pool thread w (or by the caller in inline mode).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcad::fault {
+
+class WorkerPool {
+ public:
+  /// `threads` == 0 builds an inline pool: parallelFor runs every job on
+  /// the calling thread as lane 0.
+  explicit WorkerPool(std::size_t threads) {
+    threads_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      threads_.emplace_back([this, i] { workerLoop(i); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of lanes a caller must provision state for: the worker count,
+  /// or 1 for an inline pool.
+  std::size_t lanes() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  void parallelFor(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (count == 0) return;
+    if (threads_.empty()) {
+      for (std::size_t i = 0; i < count; ++i) fn(0, i);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_ = threads_.size();
+    ++generation_;
+    wake_.notify_all();
+    // remaining_ hits zero only after every worker has both observed this
+    // generation and exhausted the index range, so the job/count references
+    // stay valid for exactly as long as any worker can touch them.
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void workerLoop(std::size_t workerIdx) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::function<void(std::size_t, std::size_t)>* job = job_;
+      const std::size_t count = count_;
+      lock.unlock();
+      for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = next_.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+          (*job)(workerIdx, i);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (--remaining_ == 0) done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace vcad::fault

@@ -1,0 +1,252 @@
+// The slot-indexed simulation-state arena: slot leasing and recycling,
+// fail-loud exhaustion, O(1) reset() semantics, hierarchical state
+// release, and — under the TSan lane — proof that many pooled schedulers
+// with randomized interleavings never bleed state across slots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/rng.hpp"
+#include "core/scheduler.hpp"
+#include "core/sim_controller.hpp"
+#include "core/slot_registry.hpp"
+#include "gate/generators.hpp"
+#include "gate/netlist_module.hpp"
+#include "rtl/modules.hpp"
+
+namespace vcad {
+namespace {
+
+struct MarkerState final : ModuleState {
+  int marker = 0;
+};
+
+struct Rig {
+  Circuit top{"top"};
+  rtl::PrimaryOutput* out = nullptr;
+
+  explicit Rig(int samples = 20) {
+    const int w = 4;
+    auto nl = std::make_shared<gate::Netlist>(gate::makeArrayMultiplier(w));
+    auto& a = top.makeWord(w, "a");
+    auto& b = top.makeWord(w, "b");
+    auto& o = top.makeWord(2 * w, "o");
+    top.make<rtl::RandomPrimaryInput>("ina", w, a, samples, 10, 0xAA);
+    top.make<rtl::RandomPrimaryInput>("inb", w, b, samples, 10, 0xBB);
+    top.make<gate::NetlistModule>(
+        "mult", nl,
+        std::vector<gate::NetlistModule::PortGroup>{{"a", &a, 0, w},
+                                                    {"b", &b, w, w}},
+        std::vector<gate::NetlistModule::PortGroup>{{"o", &o, 0, 2 * w}});
+    out = &top.make<rtl::PrimaryOutput>("out", o);
+  }
+};
+
+TEST(SlotArena, SlotsAreRecycledThroughTheRegistry) {
+  std::uint32_t firstSlot;
+  std::uint32_t firstGen;
+  {
+    Scheduler s;
+    firstSlot = s.slot();
+    firstGen = s.slotGeneration();
+    EXPECT_EQ(s.id(), firstSlot);
+    EXPECT_NE(firstSlot, 0u);  // slot 0 is reserved
+    EXPECT_LT(firstSlot, SlotRegistry::kCapacity);
+  }
+  // The free list is LIFO: the next scheduler reuses the slot just
+  // released, under a strictly newer generation.
+  Scheduler s2;
+  EXPECT_EQ(s2.slot(), firstSlot);
+  EXPECT_GT(s2.slotGeneration(), firstGen);
+}
+
+TEST(SlotArena, ExhaustionFailsLoudlyAndRecovers) {
+  std::vector<std::unique_ptr<Scheduler>> held;
+  // Slot 0 is reserved, so exactly kCapacity - 1 schedulers can be live.
+  for (std::uint32_t i = 0; i < SlotRegistry::kCapacity - 1; ++i) {
+    held.push_back(std::make_unique<Scheduler>());
+  }
+  EXPECT_EQ(SlotRegistry::global().leased(), SlotRegistry::kCapacity - 1);
+  EXPECT_THROW(Scheduler(), std::runtime_error);
+  // Releasing any slot makes construction possible again.
+  held.pop_back();
+  EXPECT_NO_THROW(Scheduler());
+  held.clear();
+  EXPECT_EQ(SlotRegistry::global().leased(), 0u);
+}
+
+TEST(SlotArena, RecycledSlotSeesNoneOfItsPredecessorsState) {
+  Connector* conn;
+  Circuit c("c");
+  conn = &c.makeWord(8, "w");
+  std::uint32_t slot;
+  {
+    Scheduler a;
+    slot = a.slot();
+    conn->setValue(a.slot(), a.slotGeneration(), Word::fromUint(8, 0x5A));
+    EXPECT_EQ(conn->value(a.slot(), a.slotGeneration()).toUint(), 0x5Au);
+  }
+  // Same slot, new lease: the stale entry's generation no longer matches,
+  // so the new run reads all-X without anyone having cleared anything.
+  Scheduler b;
+  ASSERT_EQ(b.slot(), slot);
+  EXPECT_FALSE(conn->value(b.slot(), b.slotGeneration()).isFullyKnown());
+  EXPECT_EQ(conn->value(b.slot(), b.slotGeneration()).toString(),
+            Word::allX(8).toString());
+}
+
+TEST(SlotArena, ControllerResetIsACheapLogicalClear) {
+  Rig rig;
+  SimulationController sim(rig.top);
+  sim.start();
+  SimContext ctx{sim.scheduler(), nullptr};
+  const auto golden = rig.out->history(ctx);
+  ASSERT_EQ(golden.size(), 20u);
+  const std::uint32_t slot = sim.scheduler().slot();
+  const std::uint32_t genBefore = sim.scheduler().slotGeneration();
+  ASSERT_GT(rig.top.residualStateCount(slot), 0u);
+
+  // reset() renews the generation: same slot, all state logically gone,
+  // and the rerun reproduces the first run exactly.
+  sim.reset();
+  EXPECT_EQ(sim.scheduler().slot(), slot);
+  EXPECT_GT(sim.scheduler().slotGeneration(), genBefore);
+  EXPECT_EQ(rig.top.residualStateCount(slot), 0u);
+  EXPECT_EQ(sim.scheduler().resets(), 1u);
+
+  sim.start();
+  SimContext ctx2{sim.scheduler(), nullptr};
+  const auto rerun = rig.out->history(ctx2);
+  ASSERT_EQ(rerun.size(), golden.size());
+  for (std::size_t i = 0; i < rerun.size(); ++i) {
+    EXPECT_EQ(rerun[i].value, golden[i].value) << i;
+  }
+}
+
+TEST(SlotArena, ClearSchedulerStateReleasesHierarchicalState) {
+  // Nested circuit with its own connectors and modules, plus state planted
+  // directly on the circuit modules themselves — the historical leak:
+  // visitLeaves-based clearing skipped every non-leaf module.
+  Circuit top("top");
+  auto& sub = top.make<Circuit>("sub");
+  auto& inner = sub.makeWord(4, "inner");
+  sub.make<rtl::RandomPrimaryInput>("src", 4, inner, 5, 10, 0x11);
+  auto& probe = sub.make<rtl::PrimaryOutput>("probe", inner);
+
+  SimulationController sim(top);
+  sim.start();
+  const std::uint32_t slot = sim.scheduler().slot();
+  SimContext ctx{sim.scheduler(), nullptr};
+  ASSERT_EQ(probe.sampleCount(ctx), 5u);
+
+  // Plant module-level state on both circuit nodes (not leaves).
+  top.stateFor<MarkerState>(slot).marker = 1;
+  sub.stateFor<MarkerState>(slot).marker = 2;
+  ASSERT_TRUE(top.hasLiveStateFor(slot));
+  ASSERT_TRUE(sub.hasLiveStateFor(slot));
+  ASSERT_GT(top.residualStateCount(slot), 0u);
+
+  top.clearSchedulerState(slot);
+  EXPECT_FALSE(top.hasLiveStateFor(slot));
+  EXPECT_FALSE(sub.hasLiveStateFor(slot));
+  EXPECT_EQ(top.residualStateCount(slot), 0u);
+}
+
+TEST(SlotArena, PeakAndLeaseMetricsTrackConcurrency) {
+  SlotRegistry& reg = SlotRegistry::global();
+  reg.restartPeakTracking();
+  const std::uint64_t leasesBefore = reg.totalLeases();
+  {
+    Scheduler a;
+    Scheduler b;
+    Scheduler c;
+    EXPECT_EQ(reg.peakLeased(), 3u);
+  }
+  Scheduler d;
+  EXPECT_EQ(reg.peakLeased(), 3u);  // high-water mark survives releases
+  EXPECT_EQ(reg.totalLeases() - leasesBefore, 4u);
+}
+
+TEST(SlotArena, ConcurrentPooledSchedulersNeverBleedAcrossSlots) {
+  // The TSan-lane stress: N pooled controllers over the same design, each
+  // worker thread running several reset-and-reuse rounds with randomized
+  // interleavings. Every round must reproduce the serial golden stream —
+  // any cross-slot bleed (or data race, under TSan) fails the lane.
+  constexpr std::size_t kWorkers = 10;  // >= 8 per the acceptance criteria
+  constexpr int kRounds = 3;
+  Rig rig(12);
+
+  SimulationController goldSim(rig.top);
+  goldSim.start();
+  SimContext goldCtx{goldSim.scheduler(), nullptr};
+  std::vector<Word> golden;
+  for (const auto& s : rig.out->history(goldCtx)) golden.push_back(s.value);
+  ASSERT_EQ(golden.size(), 12u);
+
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(0x517A + w);
+      SimulationController sim(rig.top);
+      for (int round = 0; round < kRounds; ++round) {
+        if (round > 0) sim.reset();
+        // Randomized interleaving: yield a random number of times so the
+        // rounds of different workers overlap in ever-different ways.
+        for (std::uint64_t y = rng.next() % 8; y-- > 0;) {
+          std::this_thread::yield();
+        }
+        sim.start();
+        SimContext ctx{sim.scheduler(), nullptr};
+        const auto& h = rig.out->history(ctx);
+        if (h.size() != golden.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < h.size(); ++i) {
+          if (h[i].value != golden[i]) mismatches.fetch_add(1);
+        }
+      }
+      rig.top.clearSchedulerState(sim.scheduler().id());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(SlotArena, ConcurrentRawSlotWritesStayIsolated) {
+  // Direct per-slot isolation on one shared connector: every thread spins
+  // values through its own slot and must always read back exactly what it
+  // wrote, regardless of interleaving.
+  Circuit c("c");
+  Connector& conn = c.makeWord(16, "shared");
+  constexpr std::size_t kWorkers = 8;
+  constexpr int kIters = 500;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      Scheduler s;
+      Rng rng(0xBEEF + w);
+      for (int i = 0; i < kIters; ++i) {
+        const Word v = Word::fromUint(16, (w << 12) | (rng.next() & 0xFFF));
+        conn.setValue(s.slot(), s.slotGeneration(), v);
+        if (rng.next() % 4 == 0) std::this_thread::yield();
+        if (conn.value(s.slot(), s.slotGeneration()) != v) {
+          mismatches.fetch_add(1);
+        }
+      }
+      conn.clearValue(s.slot());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace vcad

@@ -140,6 +140,44 @@ TEST(ChaosCampaign, ThreadCountDoesNotChangeTheFaultScheduleOrTheResult) {
   }
 }
 
+TEST(ChaosCampaign, PooledInjectionIsBitIdenticalToSerialUnderChaos) {
+  // The pooled phase-2 engine must reproduce the serial run to the last
+  // counter — not just coverage, but the whole protocol/effort ledger —
+  // under a faulty transport, for every worker count. Table fetches stay on
+  // the coordinating thread, so the RMI fault schedule cannot move either.
+  const ChaosOutcome serial = runChaosCampaign(net::FaultProfile::lossy(), 9);
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const std::string label = "pooledWorkers=" + std::to_string(workers);
+    const ChaosOutcome run = runChaosCampaign(net::FaultProfile::lossy(), 9, 6,
+                                              0, 0, 1, nullptr, workers);
+    EXPECT_EQ(run.result.faultList, serial.result.faultList) << label;
+    EXPECT_EQ(run.result.detected, serial.result.detected) << label;
+    EXPECT_EQ(run.result.detectedAfterPattern,
+              serial.result.detectedAfterPattern)
+        << label;
+    EXPECT_EQ(run.result.detectionTablesRequested,
+              serial.result.detectionTablesRequested)
+        << label;
+    EXPECT_EQ(run.result.tableFetchRoundTrips,
+              serial.result.tableFetchRoundTrips)
+        << label;
+    EXPECT_EQ(run.result.tableCacheHits, serial.result.tableCacheHits)
+        << label;
+    EXPECT_EQ(run.result.injections, serial.result.injections) << label;
+    EXPECT_EQ(run.stats.calls, serial.stats.calls) << label;
+    EXPECT_EQ(run.stats.feesCents, serial.stats.feesCents) << label;
+    EXPECT_EQ(run.stats.networkSec, serial.stats.networkSec) << label;
+    EXPECT_EQ(run.remoteErrors, 0u) << label;
+    // The pool actually ran with the requested shape, reusing its pinned
+    // lanes instead of leasing a slot per injection.
+    EXPECT_EQ(run.result.injectionWorkers, workers) << label;
+    std::uint64_t laneSum = 0;
+    for (std::uint64_t n : run.result.workerInjections) laneSum += n;
+    EXPECT_EQ(laneSum, run.result.injections) << label;
+    EXPECT_LE(run.result.slotsLeased, workers + 1) << label;
+  }
+}
+
 TEST(ChaosCampaign, CampaignSurvivesProviderRestart) {
   // The provider crashes after its 5th dispatched request — past the
   // instantiation, mid fault characterization. The session manifest replays,

@@ -155,14 +155,17 @@ struct ChaosOutcome {
 };
 
 /// Runs the campaign under the given transport behaviour. threads == 0 uses
-/// the serial VirtualFaultSimulator; otherwise the parallel engine with the
-/// given worker count and table batch size.
+/// the VirtualFaultSimulator — serially when pooledWorkers == 0, with a
+/// pooled concurrent phase-2 injection engine of that many pinned
+/// schedulers otherwise; threads > 0 uses the parallel (batched) engine
+/// with the given worker count and table batch size.
 inline ChaosOutcome runChaosCampaign(const net::FaultProfile& profile,
                                      std::uint64_t seed, int patternCount = 6,
                                      std::uint64_t restartAfter = 0,
                                      std::size_t threads = 0,
                                      std::size_t batch = 1,
-                                     const rmi::RetryPolicy* policy = nullptr) {
+                                     const rmi::RetryPolicy* policy = nullptr,
+                                     std::size_t pooledWorkers = 0) {
   ChaosRig rig(profile, seed, restartAfter);
   if (policy != nullptr) rig.channel.setRetryPolicy(*policy);
   const auto patterns = chaosPatterns(patternCount);
@@ -170,6 +173,7 @@ inline ChaosOutcome runChaosCampaign(const net::FaultProfile& profile,
   if (threads == 0) {
     fault::VirtualFaultSimulator sim(rig.circuit, rig.components(), rig.pis,
                                      rig.pos);
+    sim.setInjectionWorkers(pooledWorkers);
     out.result = sim.run(patterns);
   } else {
     fault::ParallelCampaignConfig cfg;
