@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/rng.hpp"
 #include "fault/serial_sim.hpp"
 #include "gate/generators.hpp"
@@ -164,16 +165,21 @@ int main(int argc, char** argv) {
   using namespace vcad::bench;
   bool quick = false;
   std::string jsonPath;
+  std::string obsPrefix;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obsPrefix = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH] [--obs PREFIX]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (!obsPrefix.empty()) vcad::obs::Tracer::global().setEnabled(true);
 
   const std::size_t evalPatterns = quick ? 64 * 32 : 64 * 512;
   std::vector<Measurement> rows;
@@ -199,6 +205,7 @@ int main(int argc, char** argv) {
 
   printTable(rows);
   if (!jsonPath.empty()) writeJson(jsonPath, rows);
+  if (!obsPrefix.empty()) writeObsArtifacts(obsPrefix);
 
   // Acceptance gate: the packed engine must be >= 10x scalar on the paper's
   // 16-bit multiplier (raw evaluation throughput).

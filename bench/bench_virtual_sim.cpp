@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "core/rng.hpp"
 #include "fault/block_design.hpp"
 #include "fault/virtual_sim.hpp"
@@ -217,16 +218,21 @@ int main(int argc, char** argv) {
   using namespace vcad::bench;
   bool quick = false;
   std::string jsonPath;
+  std::string obsPrefix;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obsPrefix = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH] [--obs PREFIX]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (!obsPrefix.empty()) vcad::obs::Tracer::global().setEnabled(true);
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("Virtual fault simulation: serial vs pooled phase-2 injection "
@@ -247,6 +253,7 @@ int main(int argc, char** argv) {
 
   printTable(rows);
   if (!jsonPath.empty()) writeJson(jsonPath, rows);
+  if (!obsPrefix.empty()) writeObsArtifacts(obsPrefix);
 
   int rc = 0;
   for (const Measurement& m : rows) {

@@ -16,9 +16,33 @@
 #include "gate/generators.hpp"
 #include "ip/remote_component.hpp"
 #include "net/cpu_timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtl/modules.hpp"
 
 namespace vcad::bench {
+
+/// Writes the run's observability artifacts: the aggregated metrics
+/// snapshot to "<prefix>_metrics.json" and the span/event stream to
+/// "<prefix>_trace.json" in Chrome trace-event format (loadable in
+/// chrome://tracing or ui.perfetto.dev). Call once at the end of main,
+/// after enabling the tracer at startup with obs::Tracer::global()
+/// .setEnabled(true).
+inline void writeObsArtifacts(const std::string& prefix) {
+  const auto writeFile = [](const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  };
+  writeFile(prefix + "_metrics.json",
+            obs::Registry::global().snapshot().toJson());
+  writeFile(prefix + "_trace.json", obs::Tracer::global().toChromeJson());
+}
 
 inline ip::PublicPart multiplierPublicPart(std::uint64_t w) {
   ip::PublicPart pub;

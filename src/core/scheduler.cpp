@@ -3,8 +3,30 @@
 #include <stdexcept>
 
 #include "core/module.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vcad {
+
+namespace {
+/// Registry ids for the scheduler's bulk-flushed metrics. Per-token work
+/// stays registry-free: dispatch counts flush once per run()/runUntil()
+/// call, and per-token instants are gated behind the tracer's verbose mode.
+struct SchedMetrics {
+  obs::Registry::MetricId dispatched, resets;
+  obs::Registry::MetricId peakQueueDepth;
+
+  static const SchedMetrics& get() {
+    static const SchedMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return SchedMetrics{r.counter("sched.dispatched"),
+                          r.counter("sched.resets"),
+                          r.gauge("sched.peakQueueDepth")};
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 Scheduler::Scheduler() {
   const SlotRegistry::Lease lease = SlotRegistry::global().acquire();
@@ -32,8 +54,10 @@ void Scheduler::reset() {
   now_ = 0;
   seq_ = 0;
   dispatched_ = 0;
+  peakQueueDepth_ = 0;
   generation_ = SlotRegistry::global().renew(slot_);
   ++resets_;
+  obs::Registry::global().add(SchedMetrics::get().resets);
 }
 
 void Scheduler::schedule(std::unique_ptr<Token> token, SimTime delay) {
@@ -43,6 +67,7 @@ void Scheduler::schedule(std::unique_ptr<Token> token, SimTime delay) {
   const SimTime t = now_ + delay;
   token->time_ = t;
   queue_.push(Entry{t, seq_++, token.release()});
+  if (queue_.size() > peakQueueDepth_) peakQueueDepth_ = queue_.size();
 }
 
 bool Scheduler::step() {
@@ -54,6 +79,15 @@ bool Scheduler::step() {
   ++dispatched_;
   if (trace_ != nullptr) {
     trace_->info("@" + std::to_string(now_) + " " + token->describe());
+  }
+  // Structured sibling of the LogSink trace: one instant event per
+  // delivered token, but only in verbose tracing (per-token volume).
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.verbose()) {
+    tracer.instant("sched.dispatch", "sched",
+                   {{"slot", static_cast<double>(slot_)},
+                    {"time", static_cast<double>(now_)},
+                    {"queueDepth", static_cast<double>(queue_.size())}});
   }
   SimContext ctx{*this, setup_};
   token->deliver(ctx);
@@ -73,6 +107,7 @@ std::size_t Scheduler::run(std::size_t maxEvents) {
     step();
     ++n;
   }
+  flushRunMetrics(n);
   return n;
 }
 
@@ -85,7 +120,17 @@ std::size_t Scheduler::runUntil(SimTime until, std::size_t maxEvents) {
     step();
     ++n;
   }
+  flushRunMetrics(n);
   return n;
+}
+
+void Scheduler::flushRunMetrics(std::size_t dispatchedNow) {
+  if (dispatchedNow == 0) return;
+  obs::Registry& reg = obs::Registry::global();
+  const SchedMetrics& ids = SchedMetrics::get();
+  reg.add(ids.dispatched, dispatchedNow);
+  reg.maxGauge(ids.peakQueueDepth,
+               static_cast<std::int64_t>(peakQueueDepth_));
 }
 
 void Scheduler::setOutputOverride(const Module& module,

@@ -94,6 +94,8 @@ class Scheduler {
 
   bool empty() const { return queue_.empty(); }
   std::uint64_t dispatched() const { return dispatched_; }
+  /// High-water mark of pending tokens since construction/reset().
+  std::size_t peakQueueDepth() const { return peakQueueDepth_; }
 
   // --- fault-injection support -------------------------------------------
 
@@ -129,6 +131,9 @@ class Scheduler {
   };
 
   void drainQueue();
+  /// Bulk-flushes per-run registry metrics (dispatch count, queue peak) so
+  /// the per-token path stays registry-free.
+  void flushRunMetrics(std::size_t dispatchedNow);
 
   std::uint32_t slot_;
   std::uint32_t generation_;
@@ -136,6 +141,7 @@ class Scheduler {
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t resets_ = 0;
+  std::size_t peakQueueDepth_ = 0;
   const SetupController* setup_ = nullptr;
   LogSink* trace_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;

@@ -3,7 +3,30 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace vcad {
+
+namespace {
+struct SlotMetrics {
+  obs::Registry::MetricId acquired, released, renewed, exhaustions;
+  obs::Registry::MetricId leased, peakLeased;
+
+  static const SlotMetrics& get() {
+    static const SlotMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return SlotMetrics{r.counter("slots.acquired"),
+                         r.counter("slots.released"),
+                         r.counter("slots.renewed"),
+                         r.counter("slots.exhaustions"),
+                         r.gauge("slots.leased"),
+                         r.gauge("slots.peakLeased")};
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 SlotRegistry::SlotRegistry() {
   // Slot 0 is reserved so no scheduler ever reports id 0 (ids historically
@@ -15,7 +38,15 @@ SlotRegistry::SlotRegistry() {
 
 SlotRegistry::Lease SlotRegistry::acquire() {
   std::lock_guard<std::mutex> lock(mutex_);
+  const SlotMetrics& ids = SlotMetrics::get();
+  obs::Registry& reg = obs::Registry::global();
   if (freeList_.empty()) {
+    reg.add(ids.exhaustions);
+    if (obs::Tracer::global().enabled()) {
+      obs::Tracer::global().instant(
+          "slots.exhausted", "slots",
+          {{"capacity", static_cast<double>(kCapacity)}});
+    }
     throw std::runtime_error(
         "SlotRegistry: out of scheduler slots (capacity " +
         std::to_string(kCapacity) +
@@ -27,6 +58,17 @@ SlotRegistry::Lease SlotRegistry::acquire() {
   ++leased_;
   ++totalLeases_;
   if (leased_ > peakLeased_) peakLeased_ = leased_;
+  reg.add(ids.acquired);
+  reg.setGauge(ids.leased, leased_);
+  reg.maxGauge(ids.peakLeased, leased_);
+  // Verbose-only: the serial injection engine leases a slot per injected
+  // fault, so these fire thousands of times per campaign.
+  if (obs::Tracer::global().verbose()) {
+    obs::Tracer::global().instant(
+        "slots.acquire", "slots",
+        {{"slot", static_cast<double>(slot)},
+         {"leased", static_cast<double>(leased_)}});
+  }
   return Lease{slot, generations_[slot].load(std::memory_order_relaxed)};
 }
 
@@ -41,12 +83,27 @@ void SlotRegistry::release(std::uint32_t slot) {
   generations_[slot].fetch_add(1, std::memory_order_release);
   freeList_.push_back(slot);
   --leased_;
+  const SlotMetrics& ids = SlotMetrics::get();
+  obs::Registry& reg = obs::Registry::global();
+  reg.add(ids.released);
+  reg.setGauge(ids.leased, leased_);
+  if (obs::Tracer::global().verbose()) {
+    obs::Tracer::global().instant(
+        "slots.release", "slots",
+        {{"slot", static_cast<double>(slot)},
+         {"leased", static_cast<double>(leased_)}});
+  }
 }
 
 std::uint32_t SlotRegistry::renew(std::uint32_t slot) {
   if (slot >= kCapacity) {
     throw std::out_of_range("SlotRegistry::renew: bad slot " +
                             std::to_string(slot));
+  }
+  obs::Registry::global().add(SlotMetrics::get().renewed);
+  if (obs::Tracer::global().verbose()) {
+    obs::Tracer::global().instant("slots.renew", "slots",
+                                  {{"slot", static_cast<double>(slot)}});
   }
   return generations_[slot].fetch_add(1, std::memory_order_release) + 1;
 }

@@ -9,6 +9,7 @@
 
 #include "core/slot_registry.hpp"
 #include "fault/worker_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace vcad::fault {
 
@@ -54,6 +55,9 @@ CampaignResult ParallelFaultSimulator::run(
   const std::uint64_t leasesBefore = registry.totalLeases();
   registry.restartPeakTracking();
 
+  obs::SpanScope campaignSpan("campaign.parallel", "campaign");
+  campaignSpan.arg("threads", static_cast<double>(config_.threads));
+  campaignSpan.arg("batchSize", static_cast<double>(config_.batchSize));
   CampaignResult res;
 
   // --- Phase 1: compose the symbolic fault lists (identical to serial) ----
@@ -97,7 +101,12 @@ CampaignResult ParallelFaultSimulator::run(
     // --- Fault-free reference runs for the batch, on the pooled lanes:
     // golden responses and observed component inputs are snapshotted inside
     // the job, so no controller has to outlive its run. ------------------
+    obs::SpanScope batchSpan("campaign.batch", "campaign");
+    batchSpan.arg("base", static_cast<double>(base));
+    batchSpan.arg("patterns", static_cast<double>(nBatch));
+
     std::vector<PatternRun> runs(nBatch);
+    obs::SpanScope faultFreeSpan("campaign.faultFreeBatch", "campaign");
     pool.parallelFor(nBatch, [&](std::size_t w, std::size_t i) {
       SimulationController& sim = *lanes[w];
       sim.reset();
@@ -115,10 +124,12 @@ CampaignResult ParallelFaultSimulator::run(
         pr.compInputs.push_back(comp->observedInputs(ctx));
       }
     });
+    faultFreeSpan.end();
 
     // --- Batched detection-table fetch: per component, every input
     // configuration of the batch not already cached ships in one
     // GetDetectionTables round trip. -------------------------------------
+    obs::SpanScope tableFetchSpan("campaign.tableFetch", "campaign");
     std::vector<std::vector<const DetectionTable*>> tables(
         nBatch, std::vector<const DetectionTable*>(components_.size()));
     // Lifetime holder for uncached-mode tables (must outlive injections).
@@ -176,6 +187,10 @@ CampaignResult ParallelFaultSimulator::run(
         }
       }
     }
+    tableFetchSpan.arg("roundTrips",
+                       static_cast<double>(res.tableFetchRoundTrips));
+    tableFetchSpan.arg("cacheHits", static_cast<double>(res.tableCacheHits));
+    tableFetchSpan.end();
 
     // --- Injections: patterns commit strictly in order (preserving the
     // per-pattern coverage curve); within a pattern, the row jobs shard
@@ -203,6 +218,9 @@ CampaignResult ParallelFaultSimulator::run(
 
       const std::vector<Word>& pattern = patterns[base + i];
       const PatternRun& pr = runs[i];
+      obs::SpanScope patternSpan("campaign.pattern", "campaign");
+      patternSpan.arg("pattern", static_cast<double>(base + i));
+      patternSpan.arg("injections", static_cast<double>(jobs.size()));
       pool.parallelFor(jobs.size(), [&](std::size_t w, std::size_t j) {
         Job& job = jobs[j];
         FaultClient& comp = *components_[job.comp];
@@ -231,6 +249,7 @@ CampaignResult ParallelFaultSimulator::run(
       }
       res.injections += jobs.size();
       res.detectedAfterPattern.push_back(res.detected.size());
+      patternSpan.arg("detected", static_cast<double>(res.detected.size()));
     }
   }
 
@@ -244,6 +263,11 @@ CampaignResult ParallelFaultSimulator::run(
   for (std::uint64_t r : laneResets) res.schedulerResets += r;
   res.slotsLeased = registry.totalLeases() - leasesBefore;
   res.peakConcurrentSchedulers = registry.peakLeased();
+  campaignSpan.arg("patterns", static_cast<double>(patterns.size()));
+  campaignSpan.arg("faults", static_cast<double>(res.faultList.size()));
+  campaignSpan.arg("detected", static_cast<double>(res.detected.size()));
+  campaignSpan.arg("injections", static_cast<double>(res.injections));
+  recordCampaignMetrics(res);
   return res;
 }
 

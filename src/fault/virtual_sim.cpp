@@ -6,8 +6,54 @@
 
 #include "core/slot_registry.hpp"
 #include "fault/worker_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vcad::fault {
+
+namespace {
+struct CampaignMetrics {
+  obs::Registry::MetricId runs, patterns, faults, detected, injections,
+      tablesRequested, tableRoundTrips, tableCacheHits, slotsLeased,
+      schedulerResets;
+  obs::Registry::MetricId peakConcurrentSchedulers;
+
+  static const CampaignMetrics& get() {
+    static const CampaignMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return CampaignMetrics{r.counter("campaign.runs"),
+                             r.counter("campaign.patterns"),
+                             r.counter("campaign.faults"),
+                             r.counter("campaign.detected"),
+                             r.counter("campaign.injections"),
+                             r.counter("campaign.tablesRequested"),
+                             r.counter("campaign.tableRoundTrips"),
+                             r.counter("campaign.tableCacheHits"),
+                             r.counter("campaign.slotsLeased"),
+                             r.counter("campaign.schedulerResets"),
+                             r.gauge("campaign.peakConcurrentSchedulers")};
+    }();
+    return m;
+  }
+};
+}  // namespace
+
+void recordCampaignMetrics(const CampaignResult& res) {
+  const CampaignMetrics& ids = CampaignMetrics::get();
+  obs::Registry& reg = obs::Registry::global();
+  reg.add(ids.runs);
+  reg.add(ids.patterns, res.detectedAfterPattern.size());
+  reg.add(ids.faults, res.faultList.size());
+  reg.add(ids.detected, res.detected.size());
+  reg.add(ids.injections, res.injections);
+  reg.add(ids.tablesRequested, res.detectionTablesRequested);
+  reg.add(ids.tableRoundTrips, res.tableFetchRoundTrips);
+  reg.add(ids.tableCacheHits, res.tableCacheHits);
+  reg.add(ids.slotsLeased, res.slotsLeased);
+  reg.add(ids.schedulerResets, res.schedulerResets);
+  reg.maxGauge(ids.peakConcurrentSchedulers,
+               static_cast<std::int64_t>(res.peakConcurrentSchedulers));
+}
 
 VirtualFaultSimulator::VirtualFaultSimulator(
     Circuit& design, std::vector<FaultClient*> components,
@@ -49,6 +95,7 @@ CampaignResult VirtualFaultSimulator::runSerialInjection(
   const std::uint64_t leasesBefore = registry.totalLeases();
   registry.restartPeakTracking();
 
+  obs::SpanScope campaignSpan("campaign.serial", "campaign");
   CampaignResult res;
 
   // --- Phase 1: compose the symbolic fault lists -------------------------
@@ -66,7 +113,11 @@ CampaignResult VirtualFaultSimulator::runSerialInjection(
   // input configuration.
   std::vector<std::map<std::string, DetectionTable>> tableCache(
       components_.size());
+  std::size_t patternIndex = 0;
   for (const std::vector<Word>& pattern : patterns) {
+    obs::SpanScope patternSpan("campaign.pattern", "campaign");
+    patternSpan.arg("pattern", static_cast<double>(patternIndex++));
+    const std::uint64_t injectionsBefore = res.injections;
     // Fault-free reference run.
     SimulationController ff(design_);
     applyPattern(ff, pattern);
@@ -119,6 +170,12 @@ CampaignResult VirtualFaultSimulator::runSerialInjection(
         inj.forceOutputs(comp.module(), comp.overridesFor(row.faultyOutput));
         applyPattern(inj, pattern);
         ++res.injections;
+        if (obs::Tracer::global().verbose()) {
+          obs::Tracer::global().instant(
+              "campaign.inject", "campaign",
+              {{"component", static_cast<double>(c)},
+               {"rowFaults", static_cast<double>(row.faults.size())}});
+        }
 
         bool observable = false;
         for (std::size_t j = 0; j < pos_.size(); ++j) {
@@ -137,10 +194,18 @@ CampaignResult VirtualFaultSimulator::runSerialInjection(
     assert(design_.residualStateCount(ff.scheduler().slot()) == 0 &&
            "clearSchedulerState left live state behind");
     res.detectedAfterPattern.push_back(res.detected.size());
+    patternSpan.arg("injections",
+                    static_cast<double>(res.injections - injectionsBefore));
+    patternSpan.arg("detected", static_cast<double>(res.detected.size()));
   }
 
   res.slotsLeased = registry.totalLeases() - leasesBefore;
   res.peakConcurrentSchedulers = registry.peakLeased();
+  campaignSpan.arg("patterns", static_cast<double>(patterns.size()));
+  campaignSpan.arg("faults", static_cast<double>(res.faultList.size()));
+  campaignSpan.arg("detected", static_cast<double>(res.detected.size()));
+  campaignSpan.arg("injections", static_cast<double>(res.injections));
+  recordCampaignMetrics(res);
   return res;
 }
 
@@ -150,6 +215,8 @@ CampaignResult VirtualFaultSimulator::runPooled(
   const std::uint64_t leasesBefore = registry.totalLeases();
   registry.restartPeakTracking();
 
+  obs::SpanScope campaignSpan("campaign.pooled", "campaign");
+  campaignSpan.arg("workers", static_cast<double>(injectionWorkers_));
   CampaignResult res;
 
   // --- Phase 1: identical to the serial engine ---------------------------
@@ -185,7 +252,10 @@ CampaignResult VirtualFaultSimulator::runPooled(
   };
 
   bool firstPattern = true;
+  std::size_t patternIndex = 0;
   for (const std::vector<Word>& pattern : patterns) {
+    obs::SpanScope patternSpan("campaign.pattern", "campaign");
+    patternSpan.arg("pattern", static_cast<double>(patternIndex++));
     // Fault-free reference run on the pinned ff controller.
     if (!firstPattern) {
       ff.reset();
@@ -262,6 +332,13 @@ CampaignResult VirtualFaultSimulator::runPooled(
       ++laneResets[w];
       inj.forceOutputs(comp.module(), comp.overridesFor(job.row->faultyOutput));
       applyPattern(inj, pattern);
+      if (obs::Tracer::global().verbose()) {
+        obs::Tracer::global().instant(
+            "campaign.inject", "campaign",
+            {{"lane", static_cast<double>(w)},
+             {"component", static_cast<double>(job.comp)},
+             {"rowFaults", static_cast<double>(job.row->faults.size())}});
+      }
       for (std::size_t k = 0; k < pos_.size(); ++k) {
         if (pos_[k]->value(inj.scheduler().slot(),
                            inj.scheduler().slotGeneration()) != goldenPo[k]) {
@@ -283,6 +360,8 @@ CampaignResult VirtualFaultSimulator::runPooled(
     res.injections += jobs.size();
     for (std::uint64_t r : laneResets) res.schedulerResets += r;
     res.detectedAfterPattern.push_back(res.detected.size());
+    patternSpan.arg("injections", static_cast<double>(jobs.size()));
+    patternSpan.arg("detected", static_cast<double>(res.detected.size()));
   }
 
   // Pooled lanes are logically clean after every reset; physically release
@@ -299,6 +378,11 @@ CampaignResult VirtualFaultSimulator::runPooled(
 
   res.slotsLeased = registry.totalLeases() - leasesBefore;
   res.peakConcurrentSchedulers = registry.peakLeased();
+  campaignSpan.arg("patterns", static_cast<double>(patterns.size()));
+  campaignSpan.arg("faults", static_cast<double>(res.faultList.size()));
+  campaignSpan.arg("detected", static_cast<double>(res.detected.size()));
+  campaignSpan.arg("injections", static_cast<double>(res.injections));
+  recordCampaignMetrics(res);
   return res;
 }
 

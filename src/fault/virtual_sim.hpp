@@ -130,4 +130,9 @@ class VirtualFaultSimulator {
 std::vector<std::vector<Word>> unpackPatterns(
     const std::vector<Word>& packedPatterns, std::size_t primaryInputs);
 
+/// Mirrors a finished campaign's accounting into the global obs::Registry
+/// (campaign.* counters / gauges). Called by every campaign engine right
+/// before it returns; the CampaignResult itself stays the source of truth.
+void recordCampaignMetrics(const CampaignResult& res);
+
 }  // namespace vcad::fault

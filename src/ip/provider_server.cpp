@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "ip/negotiation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vcad::ip {
 
@@ -80,12 +82,34 @@ const PrivateComponent* ProviderServer::instanceForTesting(
 }
 
 Response ProviderServer::dispatch(const Request& request) {
+  // Provider-side span: adopting the request's span-context id emits the
+  // flow-finish that stitches this dispatch under the client channel's span
+  // — one cross-domain trace per logical call.
+  obs::SpanScope span(obs::Tracer::global(), "provider.dispatch", "provider",
+                      request.spanContext);
+  if (span.active()) {
+    span.arg("method", static_cast<double>(
+                           static_cast<std::uint32_t>(request.method)));
+  }
+  {
+    static const obs::Registry::MetricId dispatches =
+        obs::Registry::global().counter("provider.dispatches");
+    obs::Registry::global().add(dispatches);
+  }
   try {
-    return handle(request);
+    Response response = handle(request);
+    if (span.active()) {
+      span.arg("status", static_cast<double>(
+                             static_cast<std::uint8_t>(response.status)));
+      span.arg("feeCents", response.feeCents);
+      span.arg("replayed", response.replayed ? 1.0 : 0.0);
+    }
+    return response;
   } catch (const std::exception& e) {
     if (log_ != nullptr) {
       log_->error("provider '" + hostName_ + "': " + e.what());
     }
+    if (span.active()) span.arg("exception", 1.0);
     return Response::failure(Status::Error, e.what());
   }
 }
@@ -113,6 +137,12 @@ void ProviderServer::charge(rmi::SessionId session, rmi::MethodId method,
   ++item.calls;
   item.cents += cents;
   response.feeCents = cents;
+  static const obs::Registry::MetricId feesCents =
+      obs::Registry::global().doubleCounter("provider.feesCents");
+  static const obs::Registry::MetricId charges =
+      obs::Registry::global().counter("provider.charges");
+  obs::Registry::global().addDouble(feesCents, cents);
+  obs::Registry::global().add(charges);
 }
 
 ProviderServer::Instance* ProviderServer::findInstance(

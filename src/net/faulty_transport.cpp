@@ -1,8 +1,33 @@
 #include "net/faulty_transport.hpp"
 
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vcad::net {
+
+namespace {
+struct TransportMetrics {
+  obs::Registry::MetricId attempts, droppedRequests, duplicatedRequests,
+      corruptedRequests, droppedResponses, corruptedResponses, stalls,
+      reorders;
+
+  static const TransportMetrics& get() {
+    static const TransportMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return TransportMetrics{r.counter("transport.attempts"),
+                              r.counter("transport.droppedRequests"),
+                              r.counter("transport.duplicatedRequests"),
+                              r.counter("transport.corruptedRequests"),
+                              r.counter("transport.droppedResponses"),
+                              r.counter("transport.corruptedResponses"),
+                              r.counter("transport.stalls"),
+                              r.counter("transport.reorders")};
+    }();
+    return m;
+  }
+};
+}  // namespace
 
 std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -133,15 +158,42 @@ FaultPlan FaultyTransport::peek(std::uint64_t key,
 
 FaultPlan FaultyTransport::plan(std::uint64_t key, std::uint32_t attempt) {
   const FaultPlan p = peek(key, attempt);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.attempts;
-  if (p.dropRequest) ++stats_.droppedRequests;
-  if (p.duplicateRequest) ++stats_.duplicatedRequests;
-  if (p.corruptRequest) ++stats_.corruptedRequests;
-  if (p.dropResponse) ++stats_.droppedResponses;
-  if (p.corruptResponse) ++stats_.corruptedResponses;
-  if (p.stall) ++stats_.stalls;
-  if (p.reorderDelaySec > 0.0) ++stats_.reorders;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.attempts;
+    if (p.dropRequest) ++stats_.droppedRequests;
+    if (p.duplicateRequest) ++stats_.duplicatedRequests;
+    if (p.corruptRequest) ++stats_.corruptedRequests;
+    if (p.dropResponse) ++stats_.droppedResponses;
+    if (p.corruptResponse) ++stats_.corruptedResponses;
+    if (p.stall) ++stats_.stalls;
+    if (p.reorderDelaySec > 0.0) ++stats_.reorders;
+  }
+  const TransportMetrics& ids = TransportMetrics::get();
+  obs::Registry& reg = obs::Registry::global();
+  reg.add(ids.attempts);
+  if (p.dropRequest) reg.add(ids.droppedRequests);
+  if (p.duplicateRequest) reg.add(ids.duplicatedRequests);
+  if (p.corruptRequest) reg.add(ids.corruptedRequests);
+  if (p.dropResponse) reg.add(ids.droppedResponses);
+  if (p.corruptResponse) reg.add(ids.corruptedResponses);
+  if (p.stall) reg.add(ids.stalls);
+  if (p.reorderDelaySec > 0.0) reg.add(ids.reorders);
+  const bool struck = p.dropRequest || p.duplicateRequest || p.corruptRequest ||
+                      p.dropResponse || p.corruptResponse || p.stall ||
+                      p.reorderDelaySec > 0.0;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (struck && tracer.enabled()) {
+    tracer.instant("transport.fault", "transport",
+                   {{"attempt", static_cast<double>(attempt)},
+                    {"dropReq", p.dropRequest ? 1.0 : 0.0},
+                    {"dupReq", p.duplicateRequest ? 1.0 : 0.0},
+                    {"corrupt", (p.corruptRequest || p.corruptResponse) ? 1.0
+                                                                        : 0.0},
+                    {"dropResp", p.dropResponse ? 1.0 : 0.0},
+                    {"stallOrReorder",
+                     (p.stall || p.reorderDelaySec > 0.0) ? 1.0 : 0.0}});
+  }
   return p;
 }
 

@@ -1,0 +1,392 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace vcad::obs {
+
+// --- shard -----------------------------------------------------------------
+
+struct Registry::Shard {
+  struct Hist {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sumBits{0};  // IEEE-754 bits, CAS-accumulated
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxDoubles> doubleBits{};
+  std::array<Hist, kMaxHistograms> hists{};
+};
+
+namespace {
+
+double bitsToDouble(std::uint64_t bits) {
+  double d;
+  static_assert(sizeof(d) == sizeof(bits));
+  __builtin_memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::uint64_t doubleToBits(double d) {
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// CAS accumulation of a double stored as bits. C++20's
+/// atomic<double>::fetch_add is not universally available, and storing the
+/// bit pattern sidesteps any question of atomic<double> lock-freedom.
+void atomicAddDouble(std::atomic<std::uint64_t>& cell, double delta) {
+  std::uint64_t expected = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(
+      expected, doubleToBits(bitsToDouble(expected) + delta),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+/// Registries that are still alive, by (address, epoch). Thread-exit shard
+/// retirement consults this so a shard whose registry died first (or whose
+/// address was recycled by a newer registry) is simply abandoned — the
+/// shared_ptr keeps the memory valid either way.
+std::mutex& liveRegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+std::set<std::pair<const Registry*, std::uint64_t>>& liveRegistries() {
+  static std::set<std::pair<const Registry*, std::uint64_t>> s;
+  return s;
+}
+std::atomic<std::uint64_t> nextRegistryEpoch{1};
+
+}  // namespace
+
+/// Per-thread table mapping registries to this thread's shard. The
+/// destructor runs at thread exit and folds each shard's totals back into
+/// its (still-live) registry.
+struct LocalShardTable {
+  struct Entry {
+    Registry* registry;
+    std::uint64_t epoch;
+    std::shared_ptr<Registry::Shard> shard;
+  };
+  std::vector<Entry> entries;
+
+  ~LocalShardTable() {
+    for (Entry& e : entries) {
+      bool alive;
+      {
+        std::lock_guard<std::mutex> lock(liveRegistryMutex());
+        alive = liveRegistries().count({e.registry, e.epoch}) != 0;
+      }
+      if (alive) e.registry->retire(e.shard);
+    }
+  }
+};
+
+namespace {
+thread_local LocalShardTable localShards;
+}  // namespace
+
+// --- registry --------------------------------------------------------------
+
+Registry::Registry()
+    : epochId_(nextRegistryEpoch.fetch_add(1, std::memory_order_relaxed)) {
+  std::lock_guard<std::mutex> lock(liveRegistryMutex());
+  liveRegistries().insert({this, epochId_});
+}
+
+Registry::~Registry() {
+  std::lock_guard<std::mutex> lock(liveRegistryMutex());
+  liveRegistries().erase({this, epochId_});
+}
+
+Registry::Shard* Registry::localShard() {
+  for (auto it = localShards.entries.begin(); it != localShards.entries.end();
+       ++it) {
+    if (it->registry == this) {
+      if (it->epoch == epochId_) return it->shard.get();
+      // Same address, different registry: the entry is stale.
+      localShards.entries.erase(it);
+      break;
+    }
+  }
+  auto shard = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(shard);
+  }
+  localShards.entries.push_back({this, epochId_, shard});
+  return localShards.entries.back().shard.get();
+}
+
+void Registry::retire(const std::shared_ptr<Shard>& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < kMaxCounters; ++i) {
+    retiredCounters_[i] += shard->counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kMaxDoubles; ++i) {
+    retiredDoubles_[i] +=
+        bitsToDouble(shard->doubleBits[i].load(std::memory_order_relaxed));
+  }
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    HistogramData& h = retiredHistograms_[i];
+    h.count += shard->hists[i].count.load(std::memory_order_relaxed);
+    h.sum +=
+        bitsToDouble(shard->hists[i].sumBits.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[b] += shard->hists[i].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+    if (it->get() == shard.get()) {
+      shards_.erase(it);
+      break;
+    }
+  }
+}
+
+namespace {
+Registry::MetricId intern(std::map<std::string, Registry::MetricId>& names,
+                          std::vector<std::string>& index,
+                          const std::string& name, std::size_t capacity,
+                          const char* kind, std::mutex& mutex) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = names.find(name);
+  if (it != names.end()) return it->second;
+  if (index.size() >= capacity) {
+    throw std::length_error(std::string("obs::Registry: out of ") + kind +
+                            " metric slots interning '" + name + "'");
+  }
+  const Registry::MetricId id =
+      static_cast<Registry::MetricId>(index.size());
+  index.push_back(name);
+  names.emplace(name, id);
+  return id;
+}
+}  // namespace
+
+Registry::MetricId Registry::counter(const std::string& name) {
+  return intern(counterNames_, counterIndex_, name, kMaxCounters, "counter",
+                mutex_);
+}
+
+Registry::MetricId Registry::doubleCounter(const std::string& name) {
+  return intern(doubleNames_, doubleIndex_, name, kMaxDoubles, "double",
+                mutex_);
+}
+
+Registry::MetricId Registry::gauge(const std::string& name) {
+  return intern(gaugeNames_, gaugeIndex_, name, kMaxGauges, "gauge", mutex_);
+}
+
+Registry::MetricId Registry::histogram(const std::string& name) {
+  return intern(histogramNames_, histogramIndex_, name, kMaxHistograms,
+                "histogram", mutex_);
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  if constexpr (!kObsCompiledIn) return;
+  localShard()->counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::addDouble(MetricId id, double delta) {
+  if constexpr (!kObsCompiledIn) return;
+  atomicAddDouble(localShard()->doubleBits[id], delta);
+}
+
+void Registry::setGauge(MetricId id, std::int64_t value) {
+  if constexpr (!kObsCompiledIn) return;
+  gauges_[id].store(value, std::memory_order_relaxed);
+}
+
+void Registry::maxGauge(MetricId id, std::int64_t value) {
+  if constexpr (!kObsCompiledIn) return;
+  std::int64_t prev = gauges_[id].load(std::memory_order_relaxed);
+  while (prev < value && !gauges_[id].compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed,
+                             std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t Registry::bucketFor(double value) {
+  if (!(value > kHistogramBase)) return 0;
+  const double steps = std::log(value / kHistogramBase) / std::log(4.0);
+  const auto bucket = static_cast<std::size_t>(steps) + 1;
+  return bucket >= kHistogramBuckets ? kHistogramBuckets - 1 : bucket;
+}
+
+void Registry::observe(MetricId id, double value) {
+  if constexpr (!kObsCompiledIn) return;
+  Shard::Hist& h = localShard()->hists[id];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  atomicAddDouble(h.sumBits, value);
+  h.buckets[bucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::array<std::uint64_t, kMaxCounters> counters = retiredCounters_;
+  std::array<double, kMaxDoubles> doubles = retiredDoubles_;
+  std::array<HistogramData, kMaxHistograms> hists = retiredHistograms_;
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < counterIndex_.size(); ++i) {
+      counters[i] += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < doubleIndex_.size(); ++i) {
+      doubles[i] +=
+          bitsToDouble(shard->doubleBits[i].load(std::memory_order_relaxed));
+    }
+    for (std::size_t i = 0; i < histogramIndex_.size(); ++i) {
+      hists[i].count += shard->hists[i].count.load(std::memory_order_relaxed);
+      hists[i].sum += bitsToDouble(
+          shard->hists[i].sumBits.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        hists[i].buckets[b] +=
+            shard->hists[i].buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < counterIndex_.size(); ++i) {
+    snap.counters.emplace(counterIndex_[i], counters[i]);
+  }
+  for (std::size_t i = 0; i < doubleIndex_.size(); ++i) {
+    snap.doubles.emplace(doubleIndex_[i], doubles[i]);
+  }
+  for (std::size_t i = 0; i < gaugeIndex_.size(); ++i) {
+    snap.gauges.emplace(gaugeIndex_[i],
+                        gauges_[i].load(std::memory_order_relaxed));
+  }
+  for (std::size_t i = 0; i < histogramIndex_.size(); ++i) {
+    snap.histograms.emplace(histogramIndex_[i], hists[i]);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retiredCounters_.fill(0);
+  retiredDoubles_.fill(0.0);
+  for (auto& h : retiredHistograms_) h = HistogramData{};
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& d : shard->doubleBits) d.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->hists) {
+      h.count.store(0, std::memory_order_relaxed);
+      h.sumBits.store(0, std::memory_order_relaxed);
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+// --- snapshot helpers ------------------------------------------------------
+
+std::uint64_t Registry::Snapshot::counterOr(const std::string& name,
+                                            std::uint64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double Registry::Snapshot::doubleOr(const std::string& name,
+                                    double fallback) const {
+  auto it = doubles.find(name);
+  return it == doubles.end() ? fallback : it->second;
+}
+
+std::int64_t Registry::Snapshot::gaugeOr(const std::string& name,
+                                         std::int64_t fallback) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+namespace {
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendJsonDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::Snapshot::toJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    appendJsonString(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"doubles\":{";
+  first = true;
+  for (const auto& [name, value] : doubles) {
+    if (!first) out.push_back(',');
+    first = false;
+    appendJsonString(out, name);
+    out.push_back(':');
+    appendJsonDouble(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    appendJsonString(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    appendJsonString(out, name);
+    out += ":{\"count\":" + std::to_string(h.count) + ",\"sum\":";
+    appendJsonDouble(out, h.sum);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (b != 0) out.push_back(',');
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace vcad::obs

@@ -1,0 +1,396 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace vcad::obs {
+
+// --- per-thread rings ------------------------------------------------------
+
+struct Tracer::Ring {
+  explicit Ring(std::uint32_t threadIndex) : tid(threadIndex) {}
+
+  std::uint32_t tid;
+  mutable std::mutex mutex;  // uncontended on the record path (one writer);
+                             // taken by collectors for a consistent copy
+  std::vector<TraceEvent> buf;
+  std::size_t head = 0;      // next overwrite position once full
+  std::uint64_t total = 0;   // events ever recorded through this ring
+};
+
+namespace {
+
+std::mutex& liveTracerMutex() {
+  static std::mutex m;
+  return m;
+}
+std::set<std::pair<const Tracer*, std::uint64_t>>& liveTracers() {
+  static std::set<std::pair<const Tracer*, std::uint64_t>> s;
+  return s;
+}
+std::atomic<std::uint64_t> nextTracerEpoch{1};
+
+}  // namespace
+
+struct LocalRingTable {
+  struct Entry {
+    Tracer* tracer;
+    std::uint64_t epoch;
+    std::shared_ptr<Tracer::Ring> ring;
+  };
+  std::vector<Entry> entries;
+
+  ~LocalRingTable() {
+    for (Entry& e : entries) {
+      bool alive;
+      {
+        std::lock_guard<std::mutex> lock(liveTracerMutex());
+        alive = liveTracers().count({e.tracer, e.epoch}) != 0;
+      }
+      if (alive) e.tracer->retire(e.ring);
+    }
+  }
+};
+
+namespace {
+thread_local LocalRingTable localRings;
+}  // namespace
+
+// --- tracer ---------------------------------------------------------------
+
+Tracer::Tracer()
+    : epochId_(nextTracerEpoch.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {
+  std::lock_guard<std::mutex> lock(liveTracerMutex());
+  liveTracers().insert({this, epochId_});
+}
+
+Tracer::~Tracer() {
+  std::lock_guard<std::mutex> lock(liveTracerMutex());
+  liveTracers().erase({this, epochId_});
+}
+
+std::uint64_t Tracer::nowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::Ring* Tracer::localRing() {
+  for (auto it = localRings.entries.begin(); it != localRings.entries.end();
+       ++it) {
+    if (it->tracer == this) {
+      if (it->epoch == epochId_) return it->ring.get();
+      localRings.entries.erase(it);
+      break;
+    }
+  }
+  auto ring =
+      std::make_shared<Ring>(nextTid_.fetch_add(1, std::memory_order_relaxed));
+  ring->buf.reserve(kRingCapacity);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(ring);
+  }
+  localRings.entries.push_back({this, epochId_, ring});
+  return localRings.entries.back().ring.get();
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled()) return;
+  Ring* ring = localRing();
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  event.tid = ring->tid;
+  event.seq = ring->total++;
+  if (ring->buf.size() < kRingCapacity) {
+    ring->buf.push_back(event);
+  } else {
+    ring->buf[ring->head] = event;
+    ring->head = (ring->head + 1) % kRingCapacity;
+  }
+}
+
+void Tracer::instant(const char* name, const char* category,
+                     std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = TraceEvent::Phase::Instant;
+  ev.tsNs = nowNs();
+  for (const TraceArg& a : args) {
+    if (ev.argCount >= TraceEvent::kMaxArgs) break;
+    ev.args[ev.argCount++] = a;
+  }
+  record(ev);
+}
+
+void Tracer::appendRingEvents(const Ring& ring,
+                              std::vector<TraceEvent>& out) const {
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.buf.size() < kRingCapacity) {
+    out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+  } else {
+    // Oldest-first: [head, end) then [0, head).
+    out.insert(out.end(), ring.buf.begin() + static_cast<std::ptrdiff_t>(ring.head),
+               ring.buf.end());
+    out.insert(out.end(), ring.buf.begin(),
+               ring.buf.begin() + static_cast<std::ptrdiff_t>(ring.head));
+  }
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = retired_;
+    for (const auto& ring : rings_) appendRingEvents(*ring, out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tsNs != b.tsNs) return a.tsNs < b.tsNs;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::lastEvents(std::size_t n) const {
+  std::vector<TraceEvent> all = collect();
+  if (all.size() <= n) return all;
+  return std::vector<TraceEvent>(all.end() - static_cast<std::ptrdiff_t>(n),
+                                 all.end());
+}
+
+std::uint64_t Tracer::droppedEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = retiredDropped_;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ringLock(ring->mutex);
+    if (ring->total > ring->buf.size()) dropped += ring->total - ring->buf.size();
+  }
+  return dropped;
+}
+
+void Tracer::retire(const std::shared_ptr<Ring>& ring) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    std::vector<TraceEvent> events;
+    appendRingEvents(*ring, events);
+    retired_.insert(retired_.end(), events.begin(), events.end());
+    std::lock_guard<std::mutex> ringLock(ring->mutex);
+    retiredDropped_ += ring->total - events.size();
+  }
+  if (retired_.size() > kRetiredCapacity) {
+    const std::size_t excess = retired_.size() - kRetiredCapacity;
+    retired_.erase(retired_.begin(),
+                   retired_.begin() + static_cast<std::ptrdiff_t>(excess));
+    retiredDropped_ += excess;
+  }
+  for (auto it = rings_.begin(); it != rings_.end(); ++it) {
+    if (it->get() == ring.get()) {
+      rings_.erase(it);
+      break;
+    }
+  }
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_.clear();
+  retiredDropped_ = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ringLock(ring->mutex);
+    ring->buf.clear();
+    ring->head = 0;
+    ring->total = 0;
+  }
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+}
+
+void appendArgs(std::string& out, const TraceEvent& ev) {
+  out += ",\"args\":{";
+  for (std::uint8_t i = 0; i < ev.argCount; ++i) {
+    if (i != 0) out.push_back(',');
+    out.push_back('"');
+    appendEscaped(out, ev.args[i].key);
+    out += "\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", ev.args[i].value);
+    out += buf;
+  }
+  out.push_back('}');
+}
+
+void appendMicros(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::toChromeJson() const {
+  const std::vector<TraceEvent> events = collect();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    appendEscaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    appendEscaped(out, ev.category);
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(ev.tid) + ",\"ts\":";
+    appendMicros(out, ev.tsNs);
+    switch (ev.phase) {
+      case TraceEvent::Phase::Complete:
+        out += ",\"ph\":\"X\",\"dur\":";
+        appendMicros(out, ev.durNs);
+        break;
+      case TraceEvent::Phase::Instant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case TraceEvent::Phase::FlowBegin:
+        out += ",\"ph\":\"s\"";
+        break;
+      case TraceEvent::Phase::FlowEnd:
+        out += ",\"ph\":\"f\",\"bp\":\"e\"";
+        break;
+    }
+    if (ev.id != 0 && ev.phase != TraceEvent::Phase::Instant) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(ev.id));
+      out += ",\"id\":\"";
+      out += buf;
+      out += "\"";
+    }
+    appendArgs(out, ev);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+// --- spans ----------------------------------------------------------------
+
+SpanScope::SpanScope(Tracer& tracer, const char* name, const char* category,
+                     std::uint64_t adoptId) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  name_ = name;
+  category_ = category;
+  startNs_ = tracer.nowNs();
+  if (adoptId != 0) {
+    id_ = adoptId;
+    // The finish half of the flow pair: stitches this span under the
+    // originating (client-side) span that shipped the id.
+    TraceEvent flow;
+    flow.name = name;
+    flow.category = category;
+    flow.phase = TraceEvent::Phase::FlowEnd;
+    flow.tsNs = startNs_;
+    flow.id = id_;
+    tracer.record(flow);
+  } else {
+    id_ = tracer.mintId();
+  }
+}
+
+void SpanScope::arg(const char* key, double value) {
+  if (tracer_ == nullptr || argCount_ >= TraceEvent::kMaxArgs) return;
+  args_[argCount_++] = TraceArg{key, value};
+}
+
+void SpanScope::flowBegin() {
+  if (tracer_ == nullptr) return;
+  TraceEvent flow;
+  flow.name = name_;
+  flow.category = category_;
+  flow.phase = TraceEvent::Phase::FlowBegin;
+  flow.tsNs = tracer_->nowNs();
+  flow.id = id_;
+  tracer_->record(flow);
+}
+
+void SpanScope::end() {
+  if (tracer_ == nullptr) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.category = category_;
+  ev.phase = TraceEvent::Phase::Complete;
+  ev.tsNs = startNs_;
+  ev.durNs = tracer_->nowNs() - startNs_;
+  ev.id = id_;
+  ev.argCount = argCount_;
+  ev.args = args_;
+  tracer_->record(ev);
+  tracer_ = nullptr;
+}
+
+std::string renderEvents(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& ev : events) {
+    char head[96];
+    const char* ph = "?";
+    switch (ev.phase) {
+      case TraceEvent::Phase::Complete:
+        ph = "X";
+        break;
+      case TraceEvent::Phase::Instant:
+        ph = "i";
+        break;
+      case TraceEvent::Phase::FlowBegin:
+        ph = "s";
+        break;
+      case TraceEvent::Phase::FlowEnd:
+        ph = "f";
+        break;
+    }
+    std::snprintf(head, sizeof(head), "  ts=%10.3fus tid=%-3u ph=%s ",
+                  static_cast<double>(ev.tsNs) / 1000.0, ev.tid, ph);
+    out += head;
+    out += ev.name;
+    if (ev.phase == TraceEvent::Phase::Complete) {
+      char dur[40];
+      std::snprintf(dur, sizeof(dur), " dur=%.3fus",
+                    static_cast<double>(ev.durNs) / 1000.0);
+      out += dur;
+    }
+    if (ev.id != 0) {
+      char id[32];
+      std::snprintf(id, sizeof(id), " id=0x%llx",
+                    static_cast<unsigned long long>(ev.id));
+      out += id;
+    }
+    for (std::uint8_t i = 0; i < ev.argCount; ++i) {
+      char arg[64];
+      std::snprintf(arg, sizeof(arg), " %s=%g", ev.args[i].key,
+                    ev.args[i].value);
+      out += arg;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace vcad::obs

@@ -1,0 +1,188 @@
+// obs::Tracer: scoped spans and instant events, serialized to Chrome
+// trace-event JSON (loadable in chrome://tracing and Perfetto).
+//
+// Recording goes into per-thread ring buffers of fixed capacity, so a
+// traced run's memory is bounded no matter how long it lasts — when a ring
+// wraps, the oldest events are overwritten and counted as dropped. Rings of
+// exited threads are folded into a capped retired store, so pool-heavy
+// campaigns do not accumulate one ring per historical thread.
+//
+// Tracing is off by default at runtime (enabled() is one relaxed atomic
+// load) and can be compiled out entirely with -DVCAD_OBS_TRACE=OFF, making
+// every probe a constant-false branch.
+//
+// Span ids double as flow ids for cross-domain stitching: the client's
+// RmiChannel span emits a flow-start ("s") event and ships its id in the
+// request frame's span-context field; the provider's dispatch span adopts
+// that id and emits the matching flow-finish ("f"), so one campaign renders
+// as a single stitched trace spanning both administrative domains.
+//
+// Event name/category strings must be string literals (or otherwise outlive
+// the tracer): events store the pointers, not copies.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // kObsCompiledIn
+
+namespace vcad::obs {
+
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 6;
+
+  enum class Phase : std::uint8_t {
+    Complete,   // "X": a span with ts + dur
+    Instant,    // "i": a point event
+    FlowBegin,  // "s": flow start (client side of a stitched call)
+    FlowEnd,    // "f": flow finish (provider side, same id)
+  };
+
+  const char* name = "";
+  const char* category = "";
+  Phase phase = Phase::Instant;
+  std::uint32_t tid = 0;   // tracer-assigned dense thread index
+  std::uint64_t seq = 0;   // per-thread record index (monotonicity proofs)
+  std::uint64_t tsNs = 0;  // nanoseconds since the tracer's epoch
+  std::uint64_t durNs = 0;  // Complete events only
+  std::uint64_t id = 0;     // span/flow id; 0 = none
+  std::uint8_t argCount = 0;
+  std::array<TraceArg, kMaxArgs> args{};
+};
+
+class Tracer {
+ public:
+  /// Events retained per live thread before the ring wraps.
+  static constexpr std::size_t kRingCapacity = 16384;
+  /// Events retained from exited threads, FIFO-capped.
+  static constexpr std::size_t kRetiredCapacity = 65536;
+
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const {
+    if constexpr (!kObsCompiledIn) return false;
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Verbose mode additionally emits per-token / per-injection instant
+  /// events — orders of magnitude more volume; keep off for overhead-bound
+  /// runs.
+  void setVerbose(bool on) { verbose_.store(on, std::memory_order_relaxed); }
+  bool verbose() const {
+    return enabled() && verbose_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since this tracer was constructed (steady clock).
+  std::uint64_t nowNs() const;
+
+  /// Mints a fresh nonzero span/flow id.
+  std::uint64_t mintId() {
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records an event (no-op while disabled). Fills tid and seq.
+  void record(TraceEvent event);
+
+  /// Convenience: records an Instant event.
+  void instant(const char* name, const char* category,
+               std::initializer_list<TraceArg> args = {});
+
+  /// All retained events, sorted by timestamp (ties broken by tid, then
+  /// per-thread sequence).
+  std::vector<TraceEvent> collect() const;
+
+  /// The most recent `n` retained events (by timestamp) — what a failing
+  /// chaos run dumps.
+  std::vector<TraceEvent> lastEvents(std::size_t n) const;
+
+  /// Events lost to ring wraps and retired-store caps.
+  std::uint64_t droppedEvents() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}.
+  std::string toChromeJson() const;
+
+  /// Drops every retained event (rings stay registered; counters rezeroed).
+  void clear();
+
+  static Tracer& global();
+
+  struct Ring;
+
+ private:
+  Ring* localRing();
+  void retire(const std::shared_ptr<Ring>& ring);
+  void appendRingEvents(const Ring& ring, std::vector<TraceEvent>& out) const;
+  friend struct LocalRingTable;
+
+  std::uint64_t epochId_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> verbose_{false};
+  std::atomic<std::uint64_t> nextId_{1};
+  std::atomic<std::uint32_t> nextTid_{1};
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::vector<TraceEvent> retired_;
+  std::uint64_t retiredDropped_ = 0;
+};
+
+/// RAII span: records a Complete event covering the scope's lifetime.
+/// Constructed against a disabled tracer it deactivates entirely (id() is 0
+/// and nothing is recorded). With a nonzero `adoptId` the span joins an
+/// existing flow: it reuses the id and emits the flow-finish event that
+/// stitches it under the originating span.
+class SpanScope {
+ public:
+  SpanScope(Tracer& tracer, const char* name, const char* category,
+            std::uint64_t adoptId = 0);
+  SpanScope(const char* name, const char* category, std::uint64_t adoptId = 0)
+      : SpanScope(Tracer::global(), name, category, adoptId) {}
+  ~SpanScope() { end(); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return id_; }
+
+  /// Attaches a key/value annotation (silently capped at kMaxArgs).
+  void arg(const char* key, double value);
+
+  /// Emits the flow-start event carrying this span's id (the client side of
+  /// cross-domain stitching; the adopting span emits the finish).
+  void flowBegin();
+
+  /// Records the Complete event now instead of at destruction.
+  void end();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = "";
+  const char* category_ = "";
+  std::uint64_t startNs_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint8_t argCount_ = 0;
+  std::array<TraceArg, TraceEvent::kMaxArgs> args_{};
+};
+
+/// Human-readable rendering (failure reports): one line per event.
+std::string renderEvents(const std::vector<TraceEvent>& events);
+
+}  // namespace vcad::obs

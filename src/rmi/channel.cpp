@@ -5,8 +5,88 @@
 #include <cmath>
 
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vcad::rmi {
+
+namespace {
+
+/// Span names must be static literals (TraceEvent stores the pointer).
+const char* methodSpanName(MethodId m) {
+  switch (m) {
+    case MethodId::OpenSession:
+      return "rmi.OpenSession";
+    case MethodId::CloseSession:
+      return "rmi.CloseSession";
+    case MethodId::GetCatalog:
+      return "rmi.GetCatalog";
+    case MethodId::Instantiate:
+      return "rmi.Instantiate";
+    case MethodId::EvalFunction:
+      return "rmi.EvalFunction";
+    case MethodId::EstimatePower:
+      return "rmi.EstimatePower";
+    case MethodId::EstimateTiming:
+      return "rmi.EstimateTiming";
+    case MethodId::EstimateArea:
+      return "rmi.EstimateArea";
+    case MethodId::GetFaultList:
+      return "rmi.GetFaultList";
+    case MethodId::GetDetectionTable:
+      return "rmi.GetDetectionTable";
+    case MethodId::SeqReset:
+      return "rmi.SeqReset";
+    case MethodId::SeqStep:
+      return "rmi.SeqStep";
+    case MethodId::Negotiate:
+      return "rmi.Negotiate";
+    case MethodId::GetDetectionTables:
+      return "rmi.GetDetectionTables";
+  }
+  return "rmi.call";
+}
+
+/// Registry mirror of ChannelStats: interned once, then every accounting
+/// block records the same deltas it adds to the struct, so the process-wide
+/// aggregate stays value-identical to the per-channel ledgers (bit-identical
+/// in single-threaded runs, where addition order matches).
+struct RmiMetrics {
+  obs::Registry::MetricId calls, blockedCalls, asyncCalls, securityRejections,
+      bytesSent, bytesReceived, retries, timeouts, duplicatesSuppressed,
+      corruptedFramesDropped, transportFailures;
+  obs::Registry::MetricId blockingWallSec, nonblockingWallSec, serverCpuSec,
+      feesCents, networkSec;
+  obs::Registry::MetricId callWallSec;
+
+  static const RmiMetrics& get() {
+    static const RmiMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      RmiMetrics ids;
+      ids.calls = r.counter("rmi.calls");
+      ids.blockedCalls = r.counter("rmi.blockedCalls");
+      ids.asyncCalls = r.counter("rmi.asyncCalls");
+      ids.securityRejections = r.counter("rmi.securityRejections");
+      ids.bytesSent = r.counter("rmi.bytesSent");
+      ids.bytesReceived = r.counter("rmi.bytesReceived");
+      ids.retries = r.counter("rmi.retries");
+      ids.timeouts = r.counter("rmi.timeouts");
+      ids.duplicatesSuppressed = r.counter("rmi.duplicatesSuppressed");
+      ids.corruptedFramesDropped = r.counter("rmi.corruptedFramesDropped");
+      ids.transportFailures = r.counter("rmi.transportFailures");
+      ids.blockingWallSec = r.doubleCounter("rmi.blockingWallSec");
+      ids.nonblockingWallSec = r.doubleCounter("rmi.nonblockingWallSec");
+      ids.serverCpuSec = r.doubleCounter("rmi.serverCpuSec");
+      ids.feesCents = r.doubleCounter("rmi.feesCents");
+      ids.networkSec = r.doubleCounter("rmi.networkSec");
+      ids.callWallSec = r.histogram("rmi.callWallSec");
+      return ids;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 double RetryPolicy::backoffSec(std::uint64_t key, int attempt) const {
   // Exponential from the first retransmission (attempt 2 pays the base),
@@ -181,20 +261,40 @@ RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
 Response RmiChannel::transact(const Request& request, bool blocking) {
   // 1. Security: inspect exactly what would go on the wire. Rejections never
   // generate traffic, so they bypass the retry machinery entirely.
+  obs::Tracer& tracer = obs::Tracer::global();
   if (!filter_.admit(request)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.calls;
-    ++stats_.securityRejections;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.calls;
+      ++stats_.securityRejections;
+    }
+    obs::Registry& reg = obs::Registry::global();
+    const RmiMetrics& ids = RmiMetrics::get();
+    reg.add(ids.calls);
+    reg.add(ids.securityRejections);
+    if (tracer.enabled()) {
+      tracer.instant(
+          "rmi.securityRejection", "rmi",
+          {{"method", static_cast<double>(
+                          static_cast<std::uint32_t>(request.method))}});
+    }
     return Response::failure(
         Status::SecurityViolation,
         "marshalling filter rejected non-port design information");
   }
 
   // 2. Stamp the logical call with its idempotency key and marshal once;
-  // every retransmission ships byte-identical content.
+  // every retransmission ships byte-identical content. A traced call also
+  // carries the channel span's id in the frame's span-context field, so the
+  // provider's dispatch spans stitch under this span; an untraced call
+  // ships 0 in the same fixed-width field (identical byte counts either
+  // way, keeping transport timing and fault schedules unperturbed).
   Request req = request;
   if (req.idempotencyKey == 0) req.idempotencyKey = stampKey();
+  obs::SpanScope span(tracer, methodSpanName(req.method), "rmi");
+  req.spanContext = span.id();
   const net::ByteBuffer wire = req.marshal();
+  if (span.active()) span.flowBegin();
 
   // 3. Attempt loop: transmit, and on a deadline miss back off and retry
   // until the budget is spent. A key that already exhausted a budget (the
@@ -279,6 +379,41 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
     // Fees only from a delivered response; replayed responses carry the fee
     // of the original execution, charged server-side exactly once.
     if (delivered) stats_.feesCents += finalResponse.feeCents;
+  }
+  {
+    // Mirror the same deltas into the process-wide registry, outside the
+    // channel mutex: the shard adds are thread-safe on their own.
+    obs::Registry& reg = obs::Registry::global();
+    const RmiMetrics& ids = RmiMetrics::get();
+    reg.add(ids.calls);
+    reg.add(blocking ? ids.blockedCalls : ids.asyncCalls);
+    reg.addDouble(blocking ? ids.blockingWallSec : ids.nonblockingWallSec,
+                  sum.wallSec);
+    if (sum.bytesSent != 0) reg.add(ids.bytesSent, sum.bytesSent);
+    if (sum.bytesReceived != 0) reg.add(ids.bytesReceived, sum.bytesReceived);
+    reg.addDouble(ids.serverCpuSec, sum.serverCpuSec);
+    reg.addDouble(ids.networkSec, sum.networkSec);
+    if (retries != 0) reg.add(ids.retries, retries);
+    if (timeouts != 0) reg.add(ids.timeouts, timeouts);
+    if (sum.duplicatesSuppressed != 0) {
+      reg.add(ids.duplicatesSuppressed, sum.duplicatesSuppressed);
+    }
+    if (corruptedFrames != 0) {
+      reg.add(ids.corruptedFramesDropped, corruptedFrames);
+    }
+    if (!delivered) reg.add(ids.transportFailures);
+    if (delivered) reg.addDouble(ids.feesCents, finalResponse.feeCents);
+    reg.observe(ids.callWallSec, sum.wallSec);
+  }
+  if (span.active()) {
+    span.arg("blocking", blocking ? 1.0 : 0.0);
+    span.arg("retries", static_cast<double>(retries));
+    span.arg("timeouts", static_cast<double>(timeouts));
+    span.arg("wallSec", sum.wallSec);
+    span.arg("feeCents", finalResponse.feeCents);
+    span.arg("status",
+             static_cast<double>(static_cast<std::uint8_t>(
+                 finalResponse.status)));
   }
   if (audit_ != nullptr && !finalResponse.ok()) {
     audit_->warning("RMI " + toString(request.method) + " failed: " +

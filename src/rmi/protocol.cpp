@@ -162,6 +162,7 @@ net::ByteBuffer Request::marshal() const {
   out.writeU64(instance);
   out.writeU32(static_cast<std::uint32_t>(method));
   out.writeU64(idempotencyKey);
+  out.writeU64(spanContext);
   out.writeString(component);
   out.writeBytes(args.buffer().bytes());
   return out;
@@ -173,6 +174,7 @@ Request Request::unmarshal(net::ByteBuffer& buf) {
   r.instance = buf.readU64();
   r.method = static_cast<MethodId>(buf.readU32());
   r.idempotencyKey = buf.readU64();
+  r.spanContext = buf.readU64();
   r.component = buf.readString();
   r.args = Args(net::ByteBuffer(buf.readBytes()));
   return r;

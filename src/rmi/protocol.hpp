@@ -97,6 +97,12 @@ struct Request {
   /// the cache instead of executing — and billing — twice. 0 = unassigned
   /// (the channel stamps one before the request ships).
   std::uint64_t idempotencyKey = 0;
+  /// Trace span-context id: the client channel's span id for this call,
+  /// shipped so the provider's dispatch span can stitch into the same
+  /// cross-domain trace (obs::SpanScope adoption). 0 = untraced. Carried in
+  /// every frame (fixed 8 bytes) so traced and untraced runs ship
+  /// byte-count-identical messages; has no effect on execution or billing.
+  std::uint64_t spanContext = 0;
   std::string component;  // for Instantiate / GetCatalog
   Args args;
 

@@ -14,6 +14,7 @@
 #include "core/scheduler.hpp"
 #include "core/sim_controller.hpp"
 #include "core/slot_registry.hpp"
+#include "obs/metrics.hpp"
 #include "gate/generators.hpp"
 #include "gate/netlist_module.hpp"
 #include "rtl/modules.hpp"
@@ -77,6 +78,58 @@ TEST(SlotArena, ExhaustionFailsLoudlyAndRecovers) {
   EXPECT_NO_THROW(Scheduler());
   held.clear();
   EXPECT_EQ(SlotRegistry::global().leased(), 0u);
+}
+
+TEST(SlotArena, ExhaustionPastCapacityWithLiveSimsRecoversResidueFree) {
+  // Exhaustion under load, not just with idle schedulers: the arena fills
+  // with real simulations carrying real per-slot state, the loud-failure
+  // path trips repeatedly past capacity for both raw Schedulers and
+  // SimulationControllers, and after release every slot — including the
+  // ones that actually ran — reads back residual-free.
+  Rig rig(6);
+  const std::uint64_t exhaustionsBefore =
+      obs::Registry::global().snapshot().counterOr("slots.exhaustions");
+
+  std::vector<std::unique_ptr<SimulationController>> sims;
+  while (SlotRegistry::global().leased() < SlotRegistry::kCapacity - 1) {
+    sims.push_back(std::make_unique<SimulationController>(rig.top));
+  }
+  ASSERT_EQ(SlotRegistry::global().leased(), SlotRegistry::kCapacity - 1);
+
+  // Past 128 concurrent schedulers, every construction attempt fails loudly
+  // — and keeps failing; nothing leaks a half-acquired slot.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_THROW(Scheduler(), std::runtime_error);
+    EXPECT_THROW(SimulationController{rig.top}, std::runtime_error);
+    EXPECT_EQ(SlotRegistry::global().leased(), SlotRegistry::kCapacity - 1);
+  }
+  if constexpr (obs::kObsCompiledIn) {
+    EXPECT_GE(obs::Registry::global().snapshot().counterOr("slots.exhaustions"),
+              exhaustionsBefore + 6);
+  }
+
+  // Put real state into a few of the held slots before releasing anything.
+  sims.front()->start();
+  sims.back()->start();
+
+  for (auto& sim : sims) {
+    const std::uint32_t slot = sim->scheduler().slot();
+    rig.top.clearSchedulerState(sim->scheduler().id());
+    sim.reset();  // unique_ptr::reset — destroys the controller, frees the slot
+    EXPECT_EQ(rig.top.residualStateCount(slot), 0u) << "slot " << slot;
+  }
+  sims.clear();
+  EXPECT_EQ(SlotRegistry::global().leased(), 0u);
+
+  // The recovered arena supports a full fresh run, and that run also leaves
+  // nothing behind.
+  SimulationController fresh(rig.top);
+  fresh.start();
+  const std::uint32_t freshSlot = fresh.scheduler().slot();
+  SimContext ctx{fresh.scheduler(), nullptr};
+  EXPECT_EQ(rig.out->sampleCount(ctx), 6u);
+  rig.top.clearSchedulerState(fresh.scheduler().id());
+  EXPECT_EQ(rig.top.residualStateCount(freshSlot), 0u);
 }
 
 TEST(SlotArena, RecycledSlotSeesNoneOfItsPredecessorsState) {

@@ -15,10 +15,25 @@
 namespace vcad::chaos {
 namespace {
 
+/// Failed assertion parts recorded so far in the running test — lets a
+/// helper detect that its own EXPECTs tripped.
+int failedPartCount() {
+  const testing::TestResult* result =
+      testing::UnitTest::GetInstance()->current_test_info()->result();
+  int failed = 0;
+  for (int i = 0; i < result->total_part_count(); ++i) {
+    if (result->GetTestPartResult(i).failed()) ++failed;
+  }
+  return failed;
+}
+
 /// The invariant every run must satisfy against the ideal-transport gold
-/// outcome: same coverage, same fees, to the last bit.
+/// outcome: same coverage, same fees, to the last bit. A broken invariant
+/// additionally dumps the run's identity (profile, seed) and the tail of
+/// its trace buffer, so the failing schedule can be replayed offline.
 void expectMatchesGold(const ChaosOutcome& run, const ChaosOutcome& gold,
                        const std::string& label) {
+  const int failedBefore = failedPartCount();
   EXPECT_EQ(run.result.faultList, gold.result.faultList) << label;
   EXPECT_EQ(run.result.detected, gold.result.detected) << label;
   EXPECT_EQ(run.result.detectedAfterPattern, gold.result.detectedAfterPattern)
@@ -30,6 +45,9 @@ void expectMatchesGold(const ChaosOutcome& run, const ChaosOutcome& gold,
   // Client and provider ledgers agree with each other, too.
   EXPECT_EQ(run.stats.feesCents, run.providerFeesCents) << label;
   EXPECT_EQ(run.remoteErrors, 0u) << label;
+  if (failedPartCount() > failedBefore) {
+    ADD_FAILURE() << chaosFailureReport(run);
+  }
 }
 
 TEST(ChaosCampaign, IdealProfileIsQuietAndBillsBothLedgersEqually) {

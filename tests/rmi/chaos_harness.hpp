@@ -22,6 +22,7 @@
 #include "ip/provider_server.hpp"
 #include "ip/remote_component.hpp"
 #include "net/faulty_transport.hpp"
+#include "obs/trace.hpp"
 
 namespace vcad::chaos {
 
@@ -152,24 +153,57 @@ struct ChaosOutcome {
   std::uint64_t recoveries = 0;     // completed session recoveries
   std::uint64_t restarts = 0;       // provider crashes injected
   std::uint64_t remoteErrors = 0;   // remote-call failures the module saw
+  std::string profileName;          // which FaultProfile drove the run
+  std::uint64_t seed = 0;           // its transport seed (reproduces the run)
 };
+
+/// Renders a failing run's identity plus the tail of the trace buffer —
+/// enough to replay the exact chaos schedule and see what the channel was
+/// doing when the invariant broke.
+inline std::string chaosFailureReport(const ChaosOutcome& run) {
+  std::string s = "chaos run: profile=" +
+                  (run.profileName.empty() ? "none" : run.profileName) +
+                  " seed=" + std::to_string(run.seed) + "\n";
+  const std::vector<obs::TraceEvent> tail = obs::Tracer::global().lastEvents(64);
+  if (tail.empty()) {
+    s += "(no trace events buffered — run with tracing enabled to capture "
+         "the failing schedule)";
+    return s;
+  }
+  s += "last " + std::to_string(tail.size()) + " trace events:\n";
+  s += obs::renderEvents(tail);
+  return s;
+}
 
 /// Runs the campaign under the given transport behaviour. threads == 0 uses
 /// the VirtualFaultSimulator — serially when pooledWorkers == 0, with a
 /// pooled concurrent phase-2 injection engine of that many pinned
 /// schedulers otherwise; threads > 0 uses the parallel (batched) engine
-/// with the given worker count and table batch size.
+/// with the given worker count and table batch size. `traced` runs the
+/// campaign with the global tracer on (cleared first, prior state restored
+/// after), so a failing invariant can dump the run's final trace events;
+/// tracing never feeds back into the simulation, so outcomes are identical
+/// either way (tests/obs/overhead_test.cpp holds that line).
 inline ChaosOutcome runChaosCampaign(const net::FaultProfile& profile,
                                      std::uint64_t seed, int patternCount = 6,
                                      std::uint64_t restartAfter = 0,
                                      std::size_t threads = 0,
                                      std::size_t batch = 1,
                                      const rmi::RetryPolicy* policy = nullptr,
-                                     std::size_t pooledWorkers = 0) {
+                                     std::size_t pooledWorkers = 0,
+                                     bool traced = true) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool wasEnabled = tracer.enabled();
+  if (traced) {
+    tracer.clear();
+    tracer.setEnabled(true);
+  }
   ChaosRig rig(profile, seed, restartAfter);
   if (policy != nullptr) rig.channel.setRetryPolicy(*policy);
   const auto patterns = chaosPatterns(patternCount);
   ChaosOutcome out;
+  out.profileName = profile.name;
+  out.seed = seed;
   if (threads == 0) {
     fault::VirtualFaultSimulator sim(rig.circuit, rig.components(), rig.pis,
                                      rig.pos);
@@ -189,6 +223,7 @@ inline ChaosOutcome runChaosCampaign(const net::FaultProfile& profile,
   out.recoveries = rig.provider->recoveries();
   out.restarts = rig.endpoint.restarts();
   out.remoteErrors = rig.mult->remoteErrors();
+  if (traced) tracer.setEnabled(wasEnabled);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/rng.hpp"
+#include "net/faulty_transport.hpp"
 #include "rmi/protocol.hpp"
 #include "rmi/security.hpp"
 
@@ -47,6 +48,7 @@ FuzzCase makeCase(Rng& rng) {
   fc.request.instance = rng.next();
   fc.request.method = static_cast<MethodId>(1 + rng.below(14));
   fc.request.idempotencyKey = rng.next();
+  fc.request.spanContext = rng.next();
   fc.request.component = randomString(rng);
   const int fields = static_cast<int>(rng.below(8));
   for (int i = 0; i < fields; ++i) {
@@ -102,6 +104,7 @@ TEST_P(ProtocolFuzz, WellFormedRequestsRoundTrip) {
     EXPECT_EQ(back.instance, fc.request.instance);
     EXPECT_EQ(back.method, fc.request.method);
     EXPECT_EQ(back.idempotencyKey, fc.request.idempotencyKey);
+    EXPECT_EQ(back.spanContext, fc.request.spanContext);
     EXPECT_EQ(back.component, fc.request.component);
     std::size_t iu = 0, id = 0, iw = 0, iv = 0, is = 0;
     for (int kind : fc.fieldKinds) {
@@ -213,6 +216,53 @@ TEST_P(ProtocolFuzz, EveryTruncatedPrefixIsRejectedNotMisread) {
           rbytes.begin(), rbytes.begin() + static_cast<std::ptrdiff_t>(len)));
       EXPECT_THROW(Response::unmarshal(prefix), std::exception)
           << "prefix length " << len << " of " << rbytes.size();
+    }
+  }
+}
+
+TEST_P(ProtocolFuzz, CorruptedSpanContextBytesAreRejectedBySealedFrames) {
+  // The spanContext field occupies bytes [28, 36) of the marshalled request
+  // (after session, instance, method, idempotencyKey). A sealed frame with
+  // any of those bytes flipped must fail the checksum — a corrupted trace
+  // id can never slip through and stitch a span onto the wrong flow.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 14029467366897019727ULL);
+  constexpr std::size_t kSpanCtxOffset = 28;
+  for (int iter = 0; iter < 50; ++iter) {
+    FuzzCase fc = makeCase(rng);
+    std::vector<std::uint8_t> sealed = fc.request.marshal().bytes();
+    net::sealFrame(sealed);
+    const std::size_t pos = kSpanCtxOffset + rng.below(8);
+    sealed[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    EXPECT_FALSE(net::openFrame(sealed))
+        << "flipped spanContext byte at offset " << pos;
+  }
+}
+
+TEST_P(ProtocolFuzz, CorruptedSpanContextNeverCrashesTheUnmarshaller) {
+  // Without a frame seal, a mangled spanContext region must parse (it is a
+  // fixed-width integer, any bit pattern is representable) or throw from
+  // the bounds-checked readers — never crash, and never disturb the fields
+  // marshalled before it.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11677594348949725157ULL);
+  constexpr std::size_t kSpanCtxOffset = 28;
+  for (int iter = 0; iter < 50; ++iter) {
+    FuzzCase fc = makeCase(rng);
+    std::vector<std::uint8_t> bytes = fc.request.marshal().bytes();
+    for (std::size_t i = 0; i < 8; ++i) {
+      bytes[kSpanCtxOffset + i] = static_cast<std::uint8_t>(rng.next());
+    }
+    net::ByteBuffer wire{std::vector<std::uint8_t>(bytes)};
+    try {
+      const Request back = Request::unmarshal(wire);
+      EXPECT_EQ(back.session, fc.request.session);
+      EXPECT_EQ(back.instance, fc.request.instance);
+      EXPECT_EQ(back.method, fc.request.method);
+      EXPECT_EQ(back.idempotencyKey, fc.request.idempotencyKey);
+      EXPECT_EQ(back.component, fc.request.component);
+    } catch (const std::exception&) {
+      // Acceptable only if the region mutation invalidated nothing before
+      // it — which it cannot, so reaching here means a reader over-read.
+      ADD_FAILURE() << "fixed-width spanContext corruption must still parse";
     }
   }
 }
