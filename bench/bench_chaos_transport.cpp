@@ -46,7 +46,7 @@ void profileOverheadTable() {
     EchoEndpoint server;
     net::FaultyTransport transport(profile, 1);
     rmi::RmiChannel channel(server, net::NetworkProfile::wan());
-    channel.setTransport(&transport);
+    channel.setFaultInjector(&transport);
     for (int i = 0; i < kCalls; ++i) {
       rmi::Request req;
       req.method = rmi::MethodId::EvalFunction;
@@ -93,8 +93,8 @@ void BM_EchoCallOverTransport(benchmark::State& state) {
   net::FaultyTransport ideal(net::FaultProfile::none(), 1);
   net::FaultyTransport lossy(net::FaultProfile::lossy(), 1);
   rmi::RmiChannel channel(server, net::NetworkProfile::ideal());
-  if (state.range(0) == 1) channel.setTransport(&ideal);
-  if (state.range(0) == 2) channel.setTransport(&lossy);
+  if (state.range(0) == 1) channel.setFaultInjector(&ideal);
+  if (state.range(0) == 2) channel.setFaultInjector(&lossy);
   std::uint64_t i = 0;
   for (auto _ : state) {
     rmi::Request req;

@@ -7,7 +7,12 @@
 //   3. Blocking vs non-blocking estimation: how much WAN latency the
 //      new-thread (non-blocking) gate-level runs hide.
 //   4. Per-profile single-call cost.
+//   5. (--async) pipelined RPC: the completion queue's latency hiding as a
+//      function of in-flight depth × network profile, written to
+//      BENCH_rmi_async.json with --json.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 #include "common.hpp"
 
@@ -109,6 +114,101 @@ void perProfileCost() {
   }
 }
 
+/// The --async sweep: N EstimatePower calls submitted to the completion
+/// queue at each in-flight depth, drained with waitAny. The simulated
+/// ledger gives the serialized cost (sum of per-call round trips) and the
+/// longest single call; the pipelined estimate divides the serialized cost
+/// across the in-flight depth, floored by that longest call — the
+/// latency-hiding ratio is serialized/pipelined.
+void asyncPipelineSweep(const char* jsonPath) {
+  constexpr int kCalls = 32;
+  constexpr int kBatch = 5;
+  std::printf("\n[5] pipelined async RPC (%d-call EstimatePower drain, "
+              "batch %d)\n",
+              kCalls, kBatch);
+  std::printf("    %-10s | %5s | %14s | %14s | %12s | %10s\n", "profile",
+              "depth", "serialized(ms)", "pipelined(ms)", "hiding (x)",
+              "real (ms)");
+  printRule(80);
+  std::string json = "{\"bench\":\"rmi_async\",\"calls\":" +
+                     std::to_string(kCalls) + ",\"results\":[";
+  bool first = true;
+  for (const auto& profile :
+       {net::NetworkProfile::localhost(), net::NetworkProfile::lan(),
+        net::NetworkProfile::wan()}) {
+    for (std::size_t depth : {1u, 2u, 4u, 8u}) {
+      ip::ProviderServer server("provider.host", nullptr);
+      registerMultiplier(server);
+      PowerComputeStub stub(server);
+      rmi::RmiChannel channel(stub, profile);
+      ip::ProviderHandle provider(channel);
+      rmi::Args args;
+      args.addU64(16);
+      auto resp = provider.call(rmi::MethodId::Instantiate, 0, std::move(args),
+                                "MultFastLowPower");
+      const auto id = resp.payload.readU64();
+      channel.resetStats();
+      channel.setMaxInFlight(depth);
+
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kCalls; ++i) {
+        rmi::Request request;
+        request.method = rmi::MethodId::EstimatePower;
+        request.session = provider.session();
+        request.instance = id;
+        std::vector<Word> batch(kBatch, Word::fromUint(16, 0xABCD + i));
+        request.args.addWordVector(batch);
+        (void)channel.submit(std::move(request));
+      }
+      int drained = 0;
+      while (auto done = channel.waitAny()) {
+        if (done->second.ok()) ++drained;
+      }
+      const double realSec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const auto& st = channel.stats();
+      const double serialized = st.nonblockingWallSec;
+      const double pipelined =
+          std::max(st.maxNonblockingCallSec,
+                   serialized / static_cast<double>(depth));
+      const double hiding = pipelined > 0 ? serialized / pipelined : 1.0;
+      std::printf("    %-10s | %5zu | %14.3f | %14.3f | %12.2f | %10.2f\n",
+                  profile.name.c_str(), depth, serialized * 1e3,
+                  pipelined * 1e3, hiding, realSec * 1e3);
+      if (drained != kCalls) {
+        std::fprintf(stderr, "drained %d of %d calls!\n", drained, kCalls);
+      }
+      char entry[320];
+      std::snprintf(entry, sizeof(entry),
+                    "%s{\"profile\":\"%s\",\"depth\":%zu,"
+                    "\"serializedSimSec\":%.9f,\"pipelinedSimSec\":%.9f,"
+                    "\"maxCallSimSec\":%.9f,\"latencyHidingRatio\":%.4f,"
+                    "\"realSec\":%.6f,\"drained\":%d}",
+                    first ? "" : ",", profile.name.c_str(), depth, serialized,
+                    pipelined, st.maxNonblockingCallSec, hiding, realSec,
+                    drained);
+      json += entry;
+      first = false;
+    }
+  }
+  json += "]}";
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath);
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", jsonPath);
+    }
+  }
+  std::printf("    (pipelined = max(longest single call, serialized/depth): "
+              "deeper in-flight windows hide proportionally more of the "
+              "wire time, until one call's latency floors it)\n");
+}
+
 void BM_RequestMarshal(benchmark::State& state) {
   const rmi::Request req = makeBatchRequest(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -152,6 +252,20 @@ BENCHMARK(BM_ChannelCall)->Unit(benchmark::kMicrosecond);
 }  // namespace vcad::bench
 
 int main(int argc, char** argv) {
+  bool asyncOnly = false;
+  const char* jsonPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--async") == 0) {
+      asyncOnly = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    }
+  }
+  if (asyncOnly) {
+    std::printf("\nRMI async pipelining sweep\n");
+    vcad::bench::asyncPipelineSweep(jsonPath);
+    return 0;
+  }
   std::printf("\nRMI overhead ablations\n");
   vcad::bench::blockingVsNonblocking();
   vcad::bench::perProfileCost();

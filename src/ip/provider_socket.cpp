@@ -1,0 +1,291 @@
+#include "ip/provider_socket.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/faulty_transport.hpp"
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vcad::ip {
+
+namespace {
+
+bool readFully(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool writeFully(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t w = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
+    if (w > 0) {
+      put += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+struct SocketMetrics {
+  obs::Registry::MetricId connections, framesServed, discardedFrames,
+      shedRequests;
+
+  static const SocketMetrics& get() {
+    static const SocketMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      SocketMetrics ids;
+      ids.connections = r.counter("provider.socket.connections");
+      ids.framesServed = r.counter("provider.socket.framesServed");
+      ids.discardedFrames = r.counter("provider.socket.discardedFrames");
+      ids.shedRequests = r.counter("provider.socket.shedRequests");
+      return ids;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+ProviderSocketServer::ProviderSocketServer(rmi::ServerEndpoint& endpoint,
+                                           LogSink* log)
+    : endpoint_(&endpoint), log_(log) {}
+
+ProviderSocketServer::~ProviderSocketServer() { stop(); }
+
+bool ProviderSocketServer::listenUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  listenFd_ = fd;
+  unixPath_ = path;
+  return true;
+}
+
+std::uint16_t ProviderSocketServer::listenTcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  listenFd_ = fd;
+  return ntohs(bound.sin_port);
+}
+
+void ProviderSocketServer::start() {
+  if (listenFd_ < 0 || acceptThread_.joinable()) return;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void ProviderSocketServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptThread_.joinable()) acceptThread_.join();
+    return;
+  }
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(connThreads_);
+  }
+  for (std::thread& t : threads) t.join();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  if (!unixPath_.empty()) ::unlink(unixPath_.c_str());
+}
+
+void ProviderSocketServer::setMaxConcurrentDispatches(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  maxConcurrentDispatches_ = cap == 0 ? 0 : cap;
+}
+
+ProviderSocketServer::Stats ProviderSocketServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ProviderSocketServer::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop) or fatal
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections;
+    obs::Registry::global().add(SocketMetrics::get().connections);
+    connFds_.insert(fd);
+    connThreads_.emplace_back([this, fd] { serveConnection(fd); });
+  }
+}
+
+void ProviderSocketServer::serveConnection(int fd) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::vector<std::uint8_t> header(net::kRequestHeaderBytes);
+  while (!stopping_.load()) {
+    if (!readFully(fd, header.data(), header.size())) break;
+    net::RequestFrameHeader h;
+    if (!net::decodeRequestFrameHeader(header.data(), header.size(), h)) {
+      // Framing lost: no way to resynchronize a byte stream, so the
+      // connection dies. The client sees a dead wire, not garbage.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.malformedHeaders;
+      if (log_ != nullptr) {
+        log_->warning("provider socket: malformed frame header; closing");
+      }
+      break;
+    }
+    std::vector<std::uint8_t> payload(h.payloadBytes);
+    if (h.payloadBytes != 0 &&
+        !readFully(fd, payload.data(), h.payloadBytes)) {
+      break;
+    }
+
+    const auto reply = [&](net::ResponseFrameHeader rh,
+                           const std::vector<std::uint8_t>& body) {
+      rh.requestId = h.requestId;
+      const std::vector<std::uint8_t> frame = net::encodeResponseFrame(rh, body);
+      return writeFully(fd, frame.data(), frame.size());
+    };
+
+    // Admission control: shed rather than queue without bound.
+    std::size_t cap;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cap = maxConcurrentDispatches_;
+    }
+    if (cap != 0 && dispatching_.load(std::memory_order_acquire) >= cap) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.shedRequests;
+        obs::Registry::global().add(SocketMetrics::get().shedRequests);
+      }
+      net::ResponseFrameHeader rh;
+      rh.status = net::FrameStatus::TooManyPending;
+      if (!reply(rh, {})) break;
+      continue;
+    }
+
+    // Server-side receive: checksum first (silent discard — emulated wire
+    // damage, the client's deadline owns it), then bounds-checked
+    // unmarshal (typed reject — an intact frame that does not parse is a
+    // protocol violation worth reporting).
+    if (!net::openFrame(payload)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.discardedFrames;
+      obs::Registry::global().add(SocketMetrics::get().discardedFrames);
+      if (tracer.enabled()) {
+        tracer.instant("provider.socket.discardedFrame", "provider",
+                       {{"bytes", static_cast<double>(h.payloadBytes)}});
+      }
+      continue;
+    }
+    rmi::Request request;
+    bool parsed = true;
+    try {
+      net::ByteBuffer b(std::move(payload));
+      request = rmi::Request::unmarshal(b);
+    } catch (const std::exception&) {
+      parsed = false;
+    }
+    if (!parsed) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.malformedPayloads;
+      }
+      net::ResponseFrameHeader rh;
+      rh.status = net::FrameStatus::MalformedRequest;
+      if (!reply(rh, {})) break;
+      continue;
+    }
+
+    rmi::Response response;
+    double cpuSec = 0.0;
+    {
+      dispatching_.fetch_add(1, std::memory_order_acq_rel);
+      std::lock_guard<std::mutex> dispatchLock(dispatchMutex_);
+      const auto start = std::chrono::steady_clock::now();
+      response = endpoint_->dispatch(request);
+      cpuSec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+      dispatching_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    std::vector<std::uint8_t> body = response.marshal().bytes();
+    net::sealFrame(body);
+    net::ResponseFrameHeader rh;
+    rh.status = net::FrameStatus::Ok;
+    rh.serverCpuNanos = static_cast<std::uint64_t>(cpuSec * 1e9);
+    if (!reply(rh, body)) break;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.framesServed;
+      obs::Registry::global().add(SocketMetrics::get().framesServed);
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  connFds_.erase(fd);
+}
+
+}  // namespace vcad::ip

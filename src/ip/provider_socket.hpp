@@ -1,0 +1,86 @@
+// ProviderSocketServer: serves any rmi::ServerEndpoint over a stream
+// socket, making the provider a real separate process from the client.
+//
+// An accept loop hands each connection to its own handler thread, which
+// reads framed requests ([magic | method-id | request-id | length] +
+// sealed payload), verifies the checksum, unmarshals, dispatches, and
+// writes back a response frame echoing the request id and carrying the
+// measured dispatch CPU time. Typed frame statuses report carrier-level
+// outcomes the payload cannot (admission shed, malformed payload,
+// draining); checksum failures are silently discarded like real wire
+// damage — the client's deadline machinery owns that case.
+//
+// Dispatch is serialized across connections: ServerEndpoint implementations
+// are written for the one-in-flight guarantee the loopback channel gives
+// them, and the socket front end preserves it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/log.hpp"
+#include "rmi/channel.hpp"
+
+namespace vcad::ip {
+
+class ProviderSocketServer {
+ public:
+  explicit ProviderSocketServer(rmi::ServerEndpoint& endpoint,
+                                LogSink* log = nullptr);
+  ~ProviderSocketServer();
+
+  ProviderSocketServer(const ProviderSocketServer&) = delete;
+  ProviderSocketServer& operator=(const ProviderSocketServer&) = delete;
+
+  /// Binds a Unix-domain listener (unlinking any stale socket file first).
+  bool listenUnix(const std::string& path);
+  /// Binds a TCP listener on 127.0.0.1; port 0 picks an ephemeral port.
+  /// Returns the bound port, or 0 on failure.
+  std::uint16_t listenTcp(std::uint16_t port = 0);
+
+  /// Starts the accept loop (after a successful listen*).
+  void start();
+  /// Closes the listener and every live connection, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Admission control: requests arriving while `cap` dispatches are
+  /// already executing are shed with FrameStatus::TooManyPending instead of
+  /// queueing without bound. Default: unlimited.
+  void setMaxConcurrentDispatches(std::size_t cap);
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t framesServed = 0;     // Ok responses written
+    std::uint64_t discardedFrames = 0;  // checksum-rejected payloads
+    std::uint64_t malformedHeaders = 0;  // framing lost; connection closed
+    std::uint64_t malformedPayloads = 0;  // intact frame, unparseable request
+    std::uint64_t shedRequests = 0;     // TooManyPending replies
+  };
+  Stats stats() const;
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+
+  rmi::ServerEndpoint* endpoint_;
+  LogSink* log_;
+  int listenFd_ = -1;
+  std::string unixPath_;  // unlinked on stop
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> dispatching_{0};
+  std::size_t maxConcurrentDispatches_ = 0;  // 0 = unlimited
+  std::mutex dispatchMutex_;  // one in-flight request per endpoint
+  mutable std::mutex mutex_;  // conn fds, threads, stats
+  std::set<int> connFds_;
+  std::vector<std::thread> connThreads_;
+  Stats stats_;
+  std::thread acceptThread_;
+};
+
+}  // namespace vcad::ip

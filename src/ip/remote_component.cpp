@@ -13,15 +13,26 @@ using rmi::Response;
 
 // --- ProviderHandle ----------------------------------------------------
 
-ProviderHandle::ProviderHandle(rmi::RmiChannel& channel) : channel_(&channel) {
+ProviderHandle::ProviderHandle(rmi::RmiChannel& channel, CallMode mode)
+    : channel_(&channel), callMode_(mode) {
   Request open;
   open.method = MethodId::OpenSession;
-  Response resp = channel_->call(open);
+  Response resp = channelCall(open);
   if (!resp.ok()) {
     throw std::runtime_error("ProviderHandle: OpenSession failed: " +
                              resp.error);
   }
   session_ = resp.payload.readU64();
+}
+
+Response ProviderHandle::channelCall(const Request& request) {
+  if (callMode_ == CallMode::CompletionQueue) {
+    // Submit-and-wait through the completion queue: one call in flight, so
+    // the deterministic accounting order matches the blocking path exactly
+    // — the bit-identity the chaos harness asserts between the two modes.
+    return channel_->wait(channel_->submit(request));
+  }
+  return channel_->call(request);
 }
 
 Response ProviderHandle::callRaw(MethodId method, rmi::SessionId session,
@@ -35,7 +46,7 @@ Response ProviderHandle::callRaw(MethodId method, rmi::SessionId session,
   req.component = component;
   req.args = std::move(args);
   req.idempotencyKey = key;
-  return channel_->call(req);
+  return channelCall(req);
 }
 
 rmi::InstanceId ProviderHandle::currentInstance(rmi::InstanceId instance) const {
@@ -125,7 +136,7 @@ bool ProviderHandle::recover() {
     probe.method = MethodId::GetCatalog;
     probe.session = session();
     probe.idempotencyKey = channel_->makeKey();
-    const Response alive = channel_->call(probe);
+    const Response alive = channelCall(probe);
     if (alive.ok()) return true;
     if (alive.status != rmi::Status::UnknownSession) return false;
   }
@@ -133,7 +144,7 @@ bool ProviderHandle::recover() {
   Request open;
   open.method = MethodId::OpenSession;
   open.idempotencyKey = channel_->makeKey();
-  Response opened = channel_->call(open);
+  Response opened = channelCall(open);
   if (!opened.ok()) return false;
   const rmi::SessionId fresh = opened.payload.readU64();
 
@@ -212,9 +223,15 @@ RemoteComponent::RemoteComponent(
         instance_.store(fresh, std::memory_order_release);
       });
 
-  // Download the public part (the loadable "bytecode").
-  if (auto* src =
-          dynamic_cast<PublicPartSource*>(&provider.channel().server())) {
+  // Download the public part (the loadable "bytecode"). An in-process
+  // channel finds the source behind its loopback endpoint; across a socket
+  // the client names its own source in the config.
+  const PublicPartSource* src = config_.publicPartSource;
+  if (src == nullptr) {
+    src = dynamic_cast<PublicPartSource*>(
+        provider.channel().endpointOrNull());
+  }
+  if (src != nullptr) {
     publicPart_ = src->downloadPublicPart(componentName, param);
   }
   if (config_.mode == RemoteMode::EstimatorRemote &&

@@ -55,12 +55,22 @@ struct SessionManifest {
 /// billed is answered from its replay cache, never executed twice.
 class ProviderHandle {
  public:
-  explicit ProviderHandle(rmi::RmiChannel& channel);
+  /// How blocking calls travel: straight through RmiChannel::call, or
+  /// submitted to the channel's completion queue and waited on — the same
+  /// simulated outcome (the chaos harness holds that line bit-for-bit),
+  /// exercised end-to-end through the async machinery.
+  enum class CallMode { Blocking, CompletionQueue };
+
+  explicit ProviderHandle(rmi::RmiChannel& channel,
+                          CallMode mode = CallMode::Blocking);
 
   rmi::RmiChannel& channel() { return *channel_; }
   rmi::SessionId session() const {
     return session_.load(std::memory_order_acquire);
   }
+
+  void setCallMode(CallMode mode) { callMode_ = mode; }
+  CallMode callMode() const { return callMode_; }
 
   rmi::Response call(rmi::MethodId method, rmi::InstanceId instance,
                      rmi::Args args, const std::string& component = "");
@@ -113,9 +123,12 @@ class ProviderHandle {
   rmi::Response callRaw(rmi::MethodId method, rmi::SessionId session,
                         rmi::InstanceId instance, rmi::Args args,
                         const std::string& component, std::uint64_t key);
+  /// Routes one request per the handle's call mode.
+  rmi::Response channelCall(const rmi::Request& request);
   rmi::InstanceId currentInstance(rmi::InstanceId instance) const;
 
   rmi::RmiChannel* channel_;
+  CallMode callMode_ = CallMode::Blocking;
   std::atomic<rmi::SessionId> session_{0};
   bool autoRecover_ = true;
   std::atomic<std::uint64_t> recoveries_{0};
@@ -129,6 +142,12 @@ struct RemoteConfig {
   std::size_t patternBufferCapacity = 5;  // Table 2 uses a buffer of five
   bool nonblockingEstimation = true;      // new-thread gate-level runs
   bool collectPower = true;               // drive EstimatePower per batch
+  /// Where the public part ("loadable bytecode") comes from. In-process
+  /// channels discover the source behind the loopback endpoint
+  /// automatically; a socket channel crosses a process boundary, so the
+  /// client must name its local source explicitly (the paper's download
+  /// happens out of band of the RMI session). Must outlive the component.
+  const PublicPartSource* publicPartSource = nullptr;
 };
 
 class RemoteComponent : public Module {

@@ -1,0 +1,96 @@
+#include "net/transport.hpp"
+
+namespace vcad::net {
+
+namespace {
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  putU32(out, static_cast<std::uint32_t>(v >> 32));
+  putU32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t getU32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t getU64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(getU32(p)) << 32) | getU32(p + 4);
+}
+
+}  // namespace
+
+std::string toString(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::Ok:
+      return "Ok";
+    case FrameStatus::MalformedRequest:
+      return "MalformedRequest";
+    case FrameStatus::TooManyPending:
+      return "TooManyPending";
+    case FrameStatus::Shutdown:
+      return "Shutdown";
+  }
+  return "FrameStatus(" + std::to_string(static_cast<std::uint32_t>(s)) + ")";
+}
+
+std::vector<std::uint8_t> encodeRequestFrame(
+    RequestFrameHeader header, const std::vector<std::uint8_t>& payload) {
+  header.payloadBytes = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(kRequestHeaderBytes + payload.size());
+  putU32(out, kRequestMagic);
+  putU32(out, header.methodId);
+  putU64(out, header.requestId);
+  putU32(out, header.payloadBytes);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encodeResponseFrame(
+    ResponseFrameHeader header, const std::vector<std::uint8_t>& payload) {
+  header.payloadBytes = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(kResponseHeaderBytes + payload.size());
+  putU32(out, kResponseMagic);
+  putU32(out, static_cast<std::uint32_t>(header.status));
+  putU64(out, header.requestId);
+  putU64(out, header.serverCpuNanos);
+  putU32(out, header.payloadBytes);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool decodeRequestFrameHeader(const std::uint8_t* data, std::size_t size,
+                              RequestFrameHeader& out) {
+  if (data == nullptr || size < kRequestHeaderBytes) return false;
+  if (getU32(data) != kRequestMagic) return false;
+  out.methodId = getU32(data + 4);
+  out.requestId = getU64(data + 8);
+  out.payloadBytes = getU32(data + 16);
+  return out.payloadBytes <= kMaxFramePayloadBytes;
+}
+
+bool decodeResponseFrameHeader(const std::uint8_t* data, std::size_t size,
+                               ResponseFrameHeader& out) {
+  if (data == nullptr || size < kResponseHeaderBytes) return false;
+  if (getU32(data) != kResponseMagic) return false;
+  const std::uint32_t status = getU32(data + 4);
+  if (status > static_cast<std::uint32_t>(FrameStatus::Shutdown)) return false;
+  out.status = static_cast<FrameStatus>(status);
+  out.requestId = getU64(data + 8);
+  out.serverCpuNanos = getU64(data + 16);
+  out.payloadBytes = getU32(data + 24);
+  return out.payloadBytes <= kMaxFramePayloadBytes;
+}
+
+}  // namespace vcad::net

@@ -1,0 +1,127 @@
+// Framed transport abstraction: how sealed RMI payloads travel between a
+// client channel and a provider endpoint.
+//
+// A transport is deliberately dumb: it carries opaque sealed payloads under
+// a fixed-width frame header and matches responses to requests by request
+// id. Everything that makes the simulation deterministic — the NetworkModel
+// time charges, the FaultyTransport chaos plans, retry/backoff — stays in
+// RmiChannel::attemptOnce on the client side, so the in-process loopback
+// backend and the socket backend produce bit-identical accounting for the
+// same seeds.
+//
+// Wire framing (all integers big-endian, matching net::ByteBuffer):
+//
+//   request frame            response frame
+//   ---------------------    -----------------------
+//   u32 magic 'VCRQ'         u32 magic 'VCRS'
+//   u32 method id            u32 status (FrameStatus)
+//   u64 request id           u64 request id
+//   u32 payload length       u64 server CPU nanos
+//   payload bytes...         u32 payload length
+//                            payload bytes...
+//
+// The payload is the sealed (checksummed) marshalled rmi::Request /
+// rmi::Response — exactly the bytes the in-process path exchanges, so byte
+// accounting and fault-plan corruption operate on identical content across
+// backends. The request id is unique per *transmission attempt* (a
+// retransmission gets a fresh id), which is what lets a pipelined client
+// match out-of-order responses and drop stale ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcad::net {
+
+/// Typed status of one response frame. Distinct from rmi::Status: this is
+/// the *carrier's* verdict (did a well-formed reply come back at all), not
+/// the RMI-level outcome encoded inside the payload.
+enum class FrameStatus : std::uint32_t {
+  Ok = 0,               // payload carries a sealed rmi::Response
+  MalformedRequest = 1,  // frame arrived intact but the payload would not
+                         // unmarshal (protocol bug or hostile client)
+  TooManyPending = 2,   // server admission control shed the request
+  Shutdown = 3,         // server is draining connections
+};
+
+std::string toString(FrameStatus s);
+
+inline constexpr std::uint32_t kRequestMagic = 0x56435251u;   // 'VCRQ'
+inline constexpr std::uint32_t kResponseMagic = 0x56435253u;  // 'VCRS'
+inline constexpr std::size_t kRequestHeaderBytes = 20;
+inline constexpr std::size_t kResponseHeaderBytes = 28;
+/// A header announcing more than this is treated as malformed — it can only
+/// come from a desynchronized or hostile stream, never from this client.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+struct RequestFrameHeader {
+  std::uint32_t methodId = 0;
+  std::uint64_t requestId = 0;
+  std::uint32_t payloadBytes = 0;
+};
+
+struct ResponseFrameHeader {
+  FrameStatus status = FrameStatus::Ok;
+  std::uint64_t requestId = 0;
+  std::uint64_t serverCpuNanos = 0;
+  std::uint32_t payloadBytes = 0;
+};
+
+/// Encodes header + payload into one contiguous frame. The header's
+/// payloadBytes field is overwritten with payload.size().
+std::vector<std::uint8_t> encodeRequestFrame(
+    RequestFrameHeader header, const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> encodeResponseFrame(
+    ResponseFrameHeader header, const std::vector<std::uint8_t>& payload);
+
+/// Decodes a header from exactly kRequestHeaderBytes / kResponseHeaderBytes
+/// bytes. Returns false — leaving `out` unspecified — on short input, a
+/// wrong magic, or an oversized payload length. Every strict prefix of a
+/// valid header is rejected, never misread.
+bool decodeRequestFrameHeader(const std::uint8_t* data, std::size_t size,
+                              RequestFrameHeader& out);
+bool decodeResponseFrameHeader(const std::uint8_t* data, std::size_t size,
+                               ResponseFrameHeader& out);
+
+/// What one awaited response frame delivered.
+struct TransportReply {
+  bool delivered = false;  // a frame for this request id arrived in time
+  FrameStatus status = FrameStatus::Ok;
+  double serverCpuSec = 0.0;  // provider-measured dispatch compute
+  std::vector<std::uint8_t> sealedPayload;  // sealed marshalled rmi::Response
+};
+
+/// One framed, request-id-matched wire to a provider. Implementations:
+/// rmi::LoopbackTransport (in-process dispatch, zero real latency) and
+/// net::SocketTransport (Unix-domain or TCP stream to a provider process).
+/// All methods are thread-safe; a channel pipelines by sending several
+/// frames before awaiting any reply.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships one sealed request payload. Never blocks on the response.
+  virtual void send(std::uint32_t methodId, std::uint64_t requestId,
+                    const std::vector<std::uint8_t>& sealedPayload) = 0;
+
+  /// Awaits the next response frame carrying `requestId`.
+  /// `realDeadlineSec` bounds the *real-time* wait (the simulated deadline
+  /// lives in RetryPolicy); loopback backends complete immediately and
+  /// ignore it. Not delivered = nothing arrived (dropped, discarded
+  /// server-side, or the wire died).
+  virtual TransportReply awaitReply(std::uint64_t requestId,
+                                    double realDeadlineSec) = 0;
+
+  /// Forgets a request id: any buffered or late reply for it is discarded
+  /// (and counted as unknown by stream backends). Called once per attempt
+  /// so abandoned exchanges cannot accumulate.
+  virtual void discard(std::uint64_t requestId) { (void)requestId; }
+
+  /// False once the wire is known dead (peer closed, stream desync).
+  virtual bool alive() const { return true; }
+
+  virtual std::string peerName() const = 0;
+};
+
+}  // namespace vcad::net

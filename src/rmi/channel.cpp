@@ -1,16 +1,25 @@
 #include "rmi/channel.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <stdexcept>
 
 #include "core/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rmi/loopback_transport.hpp"
 
 namespace vcad::rmi {
 
 namespace {
+
+/// Real-time grace wait for a reply to a frame the receiver will discard
+/// (corrupted request): almost certainly nothing comes back, but the short
+/// window keeps the checksum-collision case on the same code path.
+constexpr double kCorruptedAwaitSec = 0.02;
 
 /// Span names must be static literals (TraceEvent stores the pointer).
 const char* methodSpanName(MethodId m) {
@@ -86,6 +95,15 @@ struct RmiMetrics {
   }
 };
 
+/// RAII in-flight marker; what the fault-injector swap assertion observes.
+struct InFlightGuard {
+  explicit InFlightGuard(std::atomic<int>& counter) : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~InFlightGuard() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
+  std::atomic<int>& counter_;
+};
+
 }  // namespace
 
 double RetryPolicy::backoffSec(std::uint64_t key, int attempt) const {
@@ -106,20 +124,239 @@ double RetryPolicy::backoffSec(std::uint64_t key, int attempt) const {
 
 RmiChannel::RmiChannel(ServerEndpoint& server, net::NetworkProfile profile,
                        LogSink* audit, std::uint64_t seed)
-    : server_(server),
+    : endpoint_(&server),
+      ownedTransport_(std::make_unique<LoopbackTransport>(server)),
+      wire_(ownedTransport_.get()),
       model_(std::move(profile), seed),
       filter_(audit),
       audit_(audit),
       keySalt_(seed) {}
 
+RmiChannel::RmiChannel(std::unique_ptr<net::Transport> transport,
+                       net::NetworkProfile profile, LogSink* audit,
+                       std::uint64_t seed)
+    : endpoint_(nullptr),
+      ownedTransport_(std::move(transport)),
+      wire_(ownedTransport_.get()),
+      model_(std::move(profile), seed),
+      filter_(audit),
+      audit_(audit),
+      keySalt_(seed) {
+  if (wire_ == nullptr) {
+    throw std::invalid_argument("RmiChannel: null transport");
+  }
+}
+
+RmiChannel::~RmiChannel() {
+  std::vector<std::thread> workers;
+  std::deque<AsyncJob> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(asyncMutex_);
+    asyncStop_ = true;
+    workers.swap(asyncWorkers_);
+    abandoned.swap(asyncQueue_);
+    asyncWorkCv_.notify_all();
+    asyncDoneCv_.notify_all();
+  }
+  for (std::thread& t : workers) t.join();
+  // Jobs that never ran: break them gently so a stray future.get() sees a
+  // typed failure instead of std::future_error.
+  for (AsyncJob& job : abandoned) {
+    if (job.viaFuture) {
+      job.promise.set_value(Response::failure(
+          Status::TransportFailure, "channel destroyed before dispatch"));
+    }
+  }
+}
+
+ServerEndpoint& RmiChannel::server() {
+  if (endpoint_ == nullptr) {
+    throw std::logic_error(
+        "RmiChannel::server(): no in-process endpoint behind this transport");
+  }
+  return *endpoint_;
+}
+
 Response RmiChannel::call(const Request& request) {
   return transact(request, /*blocking=*/true);
 }
 
-std::future<Response> RmiChannel::callAsync(Request request) {
-  return std::async(std::launch::async, [this, req = std::move(request)] {
-    return transact(req, /*blocking=*/false);
+void RmiChannel::setFaultInjector(net::FaultyTransport* injector) {
+  const int inFlight = inFlightCalls_.load(std::memory_order_acquire);
+  if (inFlight != 0) {
+    // Loud on purpose: a swap during traffic silently corrupts attempt
+    // accounting (plans already drawn from the old injector). Fail fast in
+    // debug builds; release builds at least leave a trail.
+    std::fprintf(stderr,
+                 "RmiChannel::setFaultInjector: %d call(s) in flight — "
+                 "install the injector before traffic starts\n",
+                 inFlight);
+    if (audit_ != nullptr) {
+      audit_->error("setFaultInjector with " + std::to_string(inFlight) +
+                    " in-flight call(s)");
+    }
+    assert(inFlight == 0 &&
+           "RmiChannel::setFaultInjector called with calls in flight");
+  }
+  faultInjector_ = injector;
+}
+
+void RmiChannel::resetStats() {
+  // Under the stats mutex: concurrent call()/callAsync() accounting blocks
+  // write through the same lock, so a mid-campaign reset is a clean cut
+  // instead of a torn struct.
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = ChannelStats{};
+}
+
+// --- completion queue ----------------------------------------------------
+
+void RmiChannel::ensureWorkersLocked() {
+  if (!asyncWorkers_.empty() || asyncStop_) return;
+  std::size_t n = maxInFlight_;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = std::min<std::size_t>(4, std::max<std::size_t>(2, hw));
+  }
+  asyncWorkers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    asyncWorkers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+void RmiChannel::workerLoop() {
+  for (;;) {
+    AsyncJob job;
+    {
+      std::unique_lock<std::mutex> lock(asyncMutex_);
+      asyncWorkCv_.wait(lock,
+                        [this] { return asyncStop_ || !asyncQueue_.empty(); });
+      if (asyncStop_) return;
+      job = std::move(asyncQueue_.front());
+      asyncQueue_.pop_front();
+      ++runningJobs_;
+    }
+    Response response = transact(job.request, /*blocking=*/false);
+    if (job.viaFuture) {
+      job.promise.set_value(std::move(response));
+      std::lock_guard<std::mutex> lock(asyncMutex_);
+      --runningJobs_;
+      asyncDoneCv_.notify_all();
+    } else {
+      std::lock_guard<std::mutex> lock(asyncMutex_);
+      asyncDone_[job.handle] = std::move(response);
+      --runningJobs_;
+      asyncDoneCv_.notify_all();
+    }
+  }
+}
+
+void RmiChannel::enqueueJob(AsyncJob job) {
+  std::lock_guard<std::mutex> lock(asyncMutex_);
+  if (asyncStop_) {
+    if (job.viaFuture) {
+      job.promise.set_value(Response::failure(
+          Status::TransportFailure, "channel shutting down"));
+    } else {
+      asyncDone_[job.handle] = Response::failure(Status::TransportFailure,
+                                                 "channel shutting down");
+      asyncDoneCv_.notify_all();
+    }
+    return;
+  }
+  ensureWorkersLocked();
+  asyncQueue_.push_back(std::move(job));
+  asyncWorkCv_.notify_one();
+}
+
+RmiChannel::CallHandle RmiChannel::submit(Request request) {
+  AsyncJob job;
+  job.request = std::move(request);
+  {
+    std::lock_guard<std::mutex> lock(asyncMutex_);
+    job.handle = nextHandle_++;
+    asyncLive_.insert(job.handle);
+  }
+  const CallHandle handle{job.handle};
+  enqueueJob(std::move(job));
+  return handle;
+}
+
+bool RmiChannel::poll(CallHandle handle, Response* out) {
+  std::lock_guard<std::mutex> lock(asyncMutex_);
+  auto it = asyncDone_.find(handle.id);
+  if (it == asyncDone_.end()) return false;
+  if (out != nullptr) *out = std::move(it->second);
+  asyncDone_.erase(it);
+  asyncLive_.erase(handle.id);
+  asyncDoneCv_.notify_all();  // a waitAny() may be watching asyncLive_
+  return true;
+}
+
+Response RmiChannel::wait(CallHandle handle) {
+  std::unique_lock<std::mutex> lock(asyncMutex_);
+  asyncDoneCv_.wait(lock, [&] {
+    return asyncDone_.count(handle.id) != 0 ||
+           asyncLive_.count(handle.id) == 0 || asyncStop_;
   });
+  auto it = asyncDone_.find(handle.id);
+  if (it == asyncDone_.end()) {
+    return Response::failure(Status::TransportFailure,
+                             "completion queue: unknown or abandoned handle");
+  }
+  Response response = std::move(it->second);
+  asyncDone_.erase(it);
+  asyncLive_.erase(handle.id);
+  asyncDoneCv_.notify_all();  // a waitAny() may be watching asyncLive_
+  return response;
+}
+
+std::optional<std::pair<RmiChannel::CallHandle, Response>>
+RmiChannel::waitAny() {
+  std::unique_lock<std::mutex> lock(asyncMutex_);
+  asyncDoneCv_.wait(lock, [&] {
+    return !asyncDone_.empty() || asyncLive_.empty() || asyncStop_;
+  });
+  if (asyncDone_.empty()) return std::nullopt;
+  auto it = asyncDone_.begin();
+  CallHandle handle{it->first};
+  Response response = std::move(it->second);
+  asyncDone_.erase(it);
+  asyncLive_.erase(handle.id);
+  return std::make_pair(handle, std::move(response));
+}
+
+void RmiChannel::setMaxInFlight(std::size_t workers) {
+  std::vector<std::thread> old;
+  {
+    std::unique_lock<std::mutex> lock(asyncMutex_);
+    // Drain first: resizing under live jobs would orphan them.
+    asyncDoneCv_.wait(
+        lock, [this] { return asyncQueue_.empty() && runningJobs_ == 0; });
+    asyncStop_ = true;
+    asyncWorkCv_.notify_all();
+    old.swap(asyncWorkers_);
+  }
+  for (std::thread& t : old) t.join();
+  std::lock_guard<std::mutex> lock(asyncMutex_);
+  asyncStop_ = false;
+  maxInFlight_ = workers;
+}
+
+std::size_t RmiChannel::maxInFlight() const {
+  std::lock_guard<std::mutex> lock(asyncMutex_);
+  if (maxInFlight_ != 0) return maxInFlight_;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(4, std::max<std::size_t>(2, hw));
+}
+
+std::future<Response> RmiChannel::callAsync(Request request) {
+  AsyncJob job;
+  job.request = std::move(request);
+  job.viaFuture = true;
+  std::future<Response> future = job.promise.get_future();
+  enqueueJob(std::move(job));
+  return future;
 }
 
 std::uint64_t RmiChannel::stampKey() {
@@ -136,8 +373,8 @@ RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
                                             std::uint32_t attempt) {
   Attempt a;
   const net::FaultPlan plan =
-      transport_ != nullptr
-          ? transport_->plan(request.idempotencyKey, attempt)
+      faultInjector_ != nullptr
+          ? faultInjector_->plan(request.idempotencyKey, attempt)
           : net::FaultPlan{};
   const auto timeout = [&](bool corrupted) {
     a.timedOut = true;
@@ -159,59 +396,67 @@ RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
   a.wallSec = a.networkSec;
 
   if (plan.dropRequest) {
+    // Never transmitted: the client learns nothing until the deadline.
     timeout(false);
     return a;
   }
   if (plan.corruptRequest) {
-    transport_->corrupt(frame, request.idempotencyKey, attempt, 0);
+    faultInjector_->corrupt(frame, request.idempotencyKey, attempt, 0);
   }
 
-  // --- server-side receive: checksum, then bounds-checked unmarshal ------
-  std::vector<std::uint8_t> arrived = frame;
-  Request onServer;
-  bool frameOk = net::openFrame(arrived);
-  if (frameOk) {
-    try {
-      net::ByteBuffer b(std::move(arrived));
-      onServer = Request::unmarshal(b);
-    } catch (const std::exception&) {
-      frameOk = false;  // defense in depth: a colliding checksum still must
-                        // not crash the server
-    }
+  // Each transmission attempt ships under its own request id: the response
+  // demux can then match out-of-order completions and drop stale frames
+  // from abandoned attempts. A duplicated request reaches the endpoint
+  // twice with the same id; a replay-caching provider answers the second
+  // copy without re-executing.
+  const std::uint64_t requestId =
+      nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t methodId = static_cast<std::uint32_t>(request.method);
+  wire_->send(methodId, requestId, frame);
+  if (plan.duplicateRequest) wire_->send(methodId, requestId, frame);
+
+  // A corrupted frame is checksum-rejected and silently discarded by the
+  // receiver, so only a short real-time grace wait covers it.
+  const double awaitSec = plan.corruptRequest
+                              ? std::min(realAwaitSec_, kCorruptedAwaitSec)
+                              : realAwaitSec_;
+  net::TransportReply first = wire_->awaitReply(requestId, awaitSec);
+  if (!first.delivered) {
+    wire_->discard(requestId);
+    timeout(plan.corruptRequest);
+    return a;
   }
-  if (!frameOk) {
-    // The server discards the damaged frame; the client learns nothing
-    // until its deadline fires.
-    timeout(true);
+  if (first.status != net::FrameStatus::Ok) {
+    // Typed carrier-level rejection (admission shed, draining server): no
+    // response payload exists. The attempt burns its deadline and the retry
+    // loop backs off, like any other lost exchange.
+    wire_->discard(requestId);
+    timeout(false);
     return a;
   }
 
-  // --- dispatch (serialized per channel; compute measured with a
-  // high-resolution monotonic clock). A duplicated request reaches the
-  // endpoint twice back to back; a replay-caching provider answers the
-  // second copy without re-executing. -------------------------------------
-  Response response;
-  double serverCpu = 0.0;
-  {
-    std::lock_guard<std::mutex> dispatchLock(dispatchMutex_);
-    const auto serverStart = std::chrono::steady_clock::now();
-    response = server_.dispatch(onServer);
-    if (plan.duplicateRequest) {
-      std::vector<std::uint8_t> again = frame;
-      net::openFrame(again);  // same bytes: cannot fail
-      net::ByteBuffer b(std::move(again));
-      const Response second = server_.dispatch(Request::unmarshal(b));
-      if (second.replayed) ++a.duplicatesSuppressed;
+  double serverCpu = first.serverCpuSec;
+  if (plan.duplicateRequest) {
+    net::TransportReply second = wire_->awaitReply(requestId, realAwaitSec_);
+    if (second.delivered && second.status == net::FrameStatus::Ok) {
+      serverCpu += second.serverCpuSec;
+      std::vector<std::uint8_t> dupFrame = std::move(second.sealedPayload);
+      if (net::openFrame(dupFrame)) {
+        try {
+          net::ByteBuffer b(std::move(dupFrame));
+          if (Response::unmarshal(b).replayed) ++a.duplicatesSuppressed;
+        } catch (const std::exception&) {
+        }
+      }
     }
-    serverCpu = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              serverStart)
-                    .count();
   }
+  wire_->discard(requestId);
   a.serverCpuSec = serverCpu;
   a.wallSec += model_.serverComputeWallSec(serverCpu);
 
   // --- response leg ------------------------------------------------------
   if (plan.dropResponse) {
+    // The server executed; its answer vanished client-side.
     timeout(false);
     return a;
   }
@@ -223,10 +468,9 @@ RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
     timeout(false);
     return a;
   }
-  std::vector<std::uint8_t> respFrame = response.marshal().bytes();
-  net::sealFrame(respFrame);
+  std::vector<std::uint8_t> respFrame = std::move(first.sealedPayload);
   if (plan.corruptResponse) {
-    transport_->corrupt(respFrame, request.idempotencyKey, attempt, 1);
+    faultInjector_->corrupt(respFrame, request.idempotencyKey, attempt, 1);
   }
   a.bytesReceived = respFrame.size();
   {
@@ -259,6 +503,7 @@ RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
 }
 
 Response RmiChannel::transact(const Request& request, bool blocking) {
+  InFlightGuard inFlight(inFlightCalls_);
   // 1. Security: inspect exactly what would go on the wire. Rejections never
   // generate traffic, so they bypass the retry machinery entirely.
   obs::Tracer& tracer = obs::Tracer::global();

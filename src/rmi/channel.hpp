@@ -1,33 +1,53 @@
 // RmiChannel: the client's view of one provider server.
 //
-// The channel is in-process but byte-accurate: requests and responses are
-// fully marshalled, the marshalling security filter inspects outgoing
-// payloads, and a NetworkModel charges simulated wall-clock time (latency +
-// bandwidth + jitter, plus shared-host contention) to a VirtualClock.
-// Measured quantities (server CPU seconds) come from real thread timers.
+// The channel is byte-accurate: requests and responses are fully
+// marshalled, the marshalling security filter inspects outgoing payloads,
+// and a NetworkModel charges simulated wall-clock time (latency + bandwidth
+// + jitter, plus shared-host contention) to a VirtualClock. Measured
+// quantities (server CPU seconds) come from real thread timers.
+//
+// The wire underneath is a pluggable net::Transport: the default loopback
+// backend dispatches in-process, while net::SocketTransport carries the
+// same framed exchanges to a provider in another process. Everything that
+// decides the *simulated* outcome — fault plans, time charges, retries,
+// backoff — runs client-side in the channel, so the two backends produce
+// bit-identical coverage, fees, and networkSec for the same seeds.
 //
 // Blocking calls advance the client's wall clock; non-blocking calls (the
 // paper's new-thread gate-level simulations) accumulate on a separate
 // overlap account, so the harness can reconstruct how much latency was
 // hidden behind client compute.
 //
-// Thread safety: call() and callAsync() may be issued concurrently from any
-// number of threads (the parallel fault campaign shares one channel across
-// its worker pool). Stats/model updates are guarded by one mutex, and
-// server dispatch is serialized per channel by a second one, so a
-// ServerEndpoint only ever sees one in-flight request per channel — endpoint
-// implementations need no internal locking of their own.
+// Non-blocking calls run on a bounded completion-queue worker pool
+// (submit/poll/wait/waitAny, with a std::future shim for legacy callers):
+// several requests can be in flight at once, pipelined onto the transport
+// and matched back by per-attempt request ids — not one OS thread per call.
+//
+// Thread safety: call(), callAsync() and the completion-queue API may be
+// used concurrently from any number of threads (the parallel fault campaign
+// shares one channel across its worker pool). Stats/model updates are
+// guarded by one mutex, and the loopback transport serializes endpoint
+// dispatch, so a ServerEndpoint behind this channel only ever sees one
+// in-flight request — endpoint implementations need no internal locking.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/log.hpp"
 #include "net/faulty_transport.hpp"
 #include "net/network.hpp"
+#include "net/transport.hpp"
 #include "rmi/protocol.hpp"
 #include "rmi/security.hpp"
 
@@ -92,25 +112,80 @@ struct ChannelStats {
 
 class RmiChannel {
  public:
+  /// In-process channel: wraps `server` in a loopback transport.
   RmiChannel(ServerEndpoint& server, net::NetworkProfile profile,
              LogSink* audit = nullptr, std::uint64_t seed = 0x5eed);
+
+  /// Channel over an explicit transport (e.g. net::SocketTransport to a
+  /// provider process).
+  RmiChannel(std::unique_ptr<net::Transport> transport,
+             net::NetworkProfile profile, LogSink* audit = nullptr,
+             std::uint64_t seed = 0x5eed);
+
+  ~RmiChannel();
+  RmiChannel(const RmiChannel&) = delete;
+  RmiChannel& operator=(const RmiChannel&) = delete;
 
   /// Synchronous call: the client stalls for the full round trip.
   Response call(const Request& request);
 
-  /// Non-blocking call (new-thread simulation runs): the round-trip cost
-  /// lands on the overlap account instead of the blocking clock.
+  // --- completion queue (truly-async calls) -------------------------------
+
+  /// Ticket for one in-flight non-blocking call.
+  struct CallHandle {
+    std::uint64_t id = 0;
+    bool valid() const { return id != 0; }
+  };
+
+  /// Enqueues a non-blocking call on the bounded worker pool and returns
+  /// immediately. Round-trip cost lands on the overlap account.
+  CallHandle submit(Request request);
+
+  /// Non-blocking completion check; claims the response into `*out` (or
+  /// discards it when out == nullptr) if ready.
+  bool poll(CallHandle handle, Response* out);
+
+  /// Blocks until `handle` completes and claims its response. An unknown or
+  /// already-claimed handle yields a TransportFailure response rather than
+  /// deadlocking.
+  Response wait(CallHandle handle);
+
+  /// Blocks until *any* submitted call completes and claims it; nullopt
+  /// when nothing is in flight. Completion order, not submission order.
+  std::optional<std::pair<CallHandle, Response>> waitAny();
+
+  /// Resizes the worker pool (the in-flight depth). Blocks until currently
+  /// queued work drains, then takes effect for subsequent submissions.
+  /// 0 restores the default depth.
+  void setMaxInFlight(std::size_t workers);
+  std::size_t maxInFlight() const;
+
+  /// Legacy shim: a std::future fulfilled by the completion queue — same
+  /// bounded pool, not a thread per call.
   std::future<Response> callAsync(Request request);
 
-  /// Routes every exchange through a fault-injecting transport (chaos
-  /// testing). The transport must outlive the channel; nullptr restores the
-  /// ideal exactly-once delivery. Not thread-safe against in-flight calls —
-  /// install before traffic starts.
-  void setTransport(net::FaultyTransport* transport) { transport_ = transport; }
-  net::FaultyTransport* transport() const { return transport_; }
+  // --- chaos / policy ------------------------------------------------------
+
+  /// Routes every exchange through a fault-injecting chaos plan (the
+  /// injector must outlive the channel; nullptr restores ideal
+  /// exactly-once delivery). Swapping mid-traffic would corrupt attempt
+  /// accounting, so an install while calls are in flight trips a loud
+  /// assertion — install before traffic starts.
+  void setFaultInjector(net::FaultyTransport* injector);
+  net::FaultyTransport* faultInjector() const { return faultInjector_; }
+
+  /// Calls currently inside the channel (transact in progress).
+  int inFlightCalls() const {
+    return inFlightCalls_.load(std::memory_order_acquire);
+  }
 
   void setRetryPolicy(RetryPolicy policy) { policy_ = policy; }
   const RetryPolicy& retryPolicy() const { return policy_; }
+
+  /// Real-time cap on waiting for one response frame from the transport
+  /// (distinct from RetryPolicy::timeoutSec, which is simulated time). Only
+  /// socket backends ever wait for real; loopback completes immediately.
+  void setRealAwaitSec(double sec) { realAwaitSec_ = sec; }
 
   /// Mints a fresh idempotency key (same generator `call` uses to stamp
   /// unkeyed requests). A caller that re-issues a failed logical call with
@@ -121,14 +196,22 @@ class RmiChannel {
   std::uint64_t makeKey() { return stampKey(); }
 
   const ChannelStats& stats() const { return stats_; }
-  void resetStats() { stats_ = ChannelStats{}; }
+  void resetStats();
 
   /// Total simulated wall-clock seconds the client was stalled by this
   /// channel (the blocking account).
   double blockedWallSec() const { return stats_.blockingWallSec; }
 
   const net::NetworkProfile& profile() const { return model_.profile(); }
-  ServerEndpoint& server() { return server_; }
+
+  /// The in-process endpoint behind a loopback channel; nullptr when the
+  /// transport crosses a process boundary (use RemoteConfig's explicit
+  /// PublicPartSource there).
+  ServerEndpoint* endpointOrNull() { return endpoint_; }
+  /// Legacy accessor; throws std::logic_error on a non-loopback channel.
+  ServerEndpoint& server();
+
+  net::Transport& wire() { return *wire_; }
 
  private:
   struct Attempt {
@@ -144,22 +227,39 @@ class RmiChannel {
     bool corruptedFrame = false;
   };
 
+  struct AsyncJob {
+    std::uint64_t handle = 0;  // 0: future-shim job
+    Request request;
+    std::promise<Response> promise;
+    bool viaFuture = false;
+  };
+
   Response transact(const Request& request, bool blocking);
-  /// One transmission attempt: ships the frame, dispatches (possibly twice,
-  /// when the transport duplicates), and collects the response — or times
-  /// out per the fault plan.
+  /// One transmission attempt: ships the frame (twice, when the fault plan
+  /// duplicates), awaits the matching response frame, and collects the
+  /// response — or times out per the fault plan.
   Attempt attemptOnce(const net::ByteBuffer& wire, const Request& request,
                       std::uint32_t attempt);
   std::uint64_t stampKey();
+  void enqueueJob(AsyncJob job);
+  void ensureWorkersLocked();
+  void workerLoop();
 
-  ServerEndpoint& server_;
+  ServerEndpoint* endpoint_;  // non-null only for loopback channels
+  std::unique_ptr<net::Transport> ownedTransport_;
+  net::Transport* wire_;
   net::NetworkModel model_;
   MarshalFilter filter_;
   LogSink* audit_;
-  net::FaultyTransport* transport_ = nullptr;
+  net::FaultyTransport* faultInjector_ = nullptr;
   RetryPolicy policy_;
+  double realAwaitSec_ = 5.0;
   std::uint64_t keySalt_;
   std::atomic<std::uint64_t> nextKey_{1};
+  /// Unique per transmission attempt (a retransmission gets a fresh id), so
+  /// the transport can match out-of-order responses and reject stale ones.
+  std::atomic<std::uint64_t> nextRequestId_{1};
+  std::atomic<int> inFlightCalls_{0};
   /// Attempt numbers already burned per idempotency key, kept only for keys
   /// whose call was declared a TransportFailure: a re-issue of that key
   /// continues at the next attempt index instead of replaying the fault
@@ -167,11 +267,20 @@ class RmiChannel {
   /// bounded by the number of currently-dead logical calls.
   std::map<std::uint64_t, std::uint32_t> spentAttempts_;
   std::mutex mutex_;  // serializes stats/model updates across async calls
-  std::mutex dispatchMutex_;  // serializes server dispatch: callAsync spawns
-                              // concurrent threads, but provider-side state
-                              // (fee accounting, session tables) sees one
-                              // request at a time per channel
   ChannelStats stats_;
+
+  // --- completion queue state (declared last: torn down first) -----------
+  mutable std::mutex asyncMutex_;
+  std::condition_variable asyncWorkCv_;  // wakes workers
+  std::condition_variable asyncDoneCv_;  // wakes waiters / drainers
+  std::deque<AsyncJob> asyncQueue_;
+  std::map<std::uint64_t, Response> asyncDone_;  // completed, unclaimed
+  std::set<std::uint64_t> asyncLive_;  // submitted handles not yet claimed
+  std::size_t runningJobs_ = 0;
+  std::uint64_t nextHandle_ = 1;
+  std::size_t maxInFlight_ = 0;  // 0 = default pool size
+  bool asyncStop_ = false;
+  std::vector<std::thread> asyncWorkers_;
 };
 
 }  // namespace vcad::rmi

@@ -1,0 +1,47 @@
+// LoopbackTransport: the in-process net::Transport backend.
+//
+// Wraps a ServerEndpoint behind the same framed send/awaitReply surface the
+// socket backend exposes: send() performs the server-side receive (checksum
+// verification, bounds-checked unmarshal, serialized dispatch) immediately
+// on the caller's thread and queues the sealed response under the request
+// id; awaitReply() pops it with zero real latency. Damaged frames are
+// silently discarded exactly like a real server would — the client learns
+// nothing until its (simulated) deadline fires.
+//
+// Dispatch is serialized by an internal mutex, so a ServerEndpoint behind a
+// loopback never sees concurrent requests even when many channel workers
+// pipeline through it — the guarantee endpoint implementations rely on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "rmi/channel.hpp"
+
+namespace vcad::rmi {
+
+class LoopbackTransport final : public net::Transport {
+ public:
+  explicit LoopbackTransport(ServerEndpoint& endpoint);
+
+  void send(std::uint32_t methodId, std::uint64_t requestId,
+            const std::vector<std::uint8_t>& sealedPayload) override;
+  net::TransportReply awaitReply(std::uint64_t requestId,
+                                 double realDeadlineSec) override;
+  void discard(std::uint64_t requestId) override;
+  std::string peerName() const override;
+
+  ServerEndpoint& endpoint() { return *endpoint_; }
+
+ private:
+  ServerEndpoint* endpoint_;
+  std::mutex dispatchMutex_;  // one in-flight request per endpoint
+  std::mutex mutex_;          // reply queues
+  std::map<std::uint64_t, std::deque<net::TransportReply>> arrived_;
+};
+
+}  // namespace vcad::rmi

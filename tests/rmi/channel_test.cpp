@@ -158,7 +158,7 @@ TEST(RmiChannelRetry, DropProfileRetriesUntilEveryCallDelivers) {
   EchoServer server;
   net::FaultyTransport transport(net::FaultProfile::drop(), 0xD00D);
   RmiChannel ch(server, net::NetworkProfile::ideal());
-  ch.setTransport(&transport);
+  ch.setFaultInjector(&transport);
   constexpr std::uint64_t kLogicalCalls = 20;
   for (std::uint64_t i = 0; i < kLogicalCalls; ++i) {
     // The caller contract for an exhausted budget: re-issue with the SAME
@@ -185,7 +185,7 @@ TEST(RmiChannelRetry, ExhaustedBudgetIsDeclaredTransportFailure) {
   blackHole.dropRequestProb = 1.0;
   net::FaultyTransport transport(blackHole, 1);
   RmiChannel ch(server, net::NetworkProfile::ideal());
-  ch.setTransport(&transport);
+  ch.setFaultInjector(&transport);
   Response resp = ch.call(echoRequest(1));
   EXPECT_EQ(resp.status, Status::TransportFailure);
   EXPECT_EQ(server.dispatched, 0);  // nothing ever arrived
@@ -217,7 +217,7 @@ TEST(RmiChannelRetry, ReissuedKeyResumesTheAttemptSchedule) {
 
   EchoServer server;
   RmiChannel ch(server, net::NetworkProfile::ideal());
-  ch.setTransport(&transport);
+  ch.setFaultInjector(&transport);
   RetryPolicy oneShot;
   oneShot.maxAttempts = 1;
   ch.setRetryPolicy(oneShot);
@@ -264,7 +264,7 @@ TEST(RmiChannelRetry, DuplicateDeliveryReachesTheEndpointTwice) {
   dup.duplicateRequestProb = 1.0;
   net::FaultyTransport transport(dup, 1);
   RmiChannel ch(server, net::NetworkProfile::ideal());
-  ch.setTransport(&transport);
+  ch.setFaultInjector(&transport);
   Response resp = ch.call(echoRequest(5));
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(server.dispatched, 2);
@@ -283,7 +283,7 @@ TEST(RmiChannelRetry, StallPastDeadlineTimesOutThoughServerExecuted) {
   frozen.stallSec = 2.0;  // >> default 0.25s deadline
   net::FaultyTransport transport(frozen, 1);
   RmiChannel ch(server, net::NetworkProfile::ideal());
-  ch.setTransport(&transport);
+  ch.setFaultInjector(&transport);
   RetryPolicy p;
   p.maxAttempts = 2;
   ch.setRetryPolicy(p);
@@ -300,7 +300,7 @@ TEST(RmiChannelRetry, CorruptedRequestFramesNeverReachDispatch) {
   mangle.corruptRequestProb = 1.0;
   net::FaultyTransport transport(mangle, 1);
   RmiChannel ch(server, net::NetworkProfile::ideal());
-  ch.setTransport(&transport);
+  ch.setFaultInjector(&transport);
   RetryPolicy p;
   p.maxAttempts = 3;
   ch.setRetryPolicy(p);

@@ -57,6 +57,30 @@ class RestartingEndpoint : public rmi::ServerEndpoint,
   std::uint64_t restarts_ = 0;
 };
 
+/// The chaos multiplier's public part, shared by the in-process provider
+/// registration and the client-side source a socket rig needs (the provider
+/// then lives in another process, unreachable by loopback discovery).
+inline ip::PublicPart chaosMultiplierPublicPart(std::uint64_t w) {
+  ip::PublicPart pub;
+  pub.functional = [w](const Word& in, const rmi::Sandbox&) {
+    const int width = static_cast<int>(w);
+    const Word a = in.slice(0, width);
+    const Word b = in.slice(width, width);
+    if (!a.isFullyKnown() || !b.isFullyKnown()) {
+      return Word::allX(2 * width);
+    }
+    return Word::fromUint(2 * width, a.toUint() * b.toUint());
+  };
+  return pub;
+}
+
+struct ChaosPublicPartSource : ip::PublicPartSource {
+  ip::PublicPart downloadPublicPart(const std::string&,
+                                    std::uint64_t param) const override {
+    return chaosMultiplierPublicPart(param);
+  }
+};
+
 inline void registerChaosMultiplier(ip::ProviderServer& server) {
   ip::IpComponentSpec spec;
   spec.name = "MultFastLowPower";
@@ -74,19 +98,7 @@ inline void registerChaosMultiplier(ip::ProviderServer& server) {
         return std::make_shared<const gate::Netlist>(
             gate::makeArrayMultiplier(static_cast<int>(w)));
       },
-      [](std::uint64_t w) {
-        ip::PublicPart pub;
-        pub.functional = [w](const Word& in, const rmi::Sandbox&) {
-          const int width = static_cast<int>(w);
-          const Word a = in.slice(0, width);
-          const Word b = in.slice(width, width);
-          if (!a.isFullyKnown() || !b.isFullyKnown()) {
-            return Word::allX(2 * width);
-          }
-          return Word::fromUint(2 * width, a.toUint() * b.toUint());
-        };
-        return pub;
-      });
+      [](std::uint64_t w) { return chaosMultiplierPublicPart(w); });
 }
 
 /// Provider + (optionally restarting) endpoint + fault-injecting channel +
@@ -107,7 +119,7 @@ struct ChaosRig {
   std::vector<Connector*> pos;
 
   explicit ChaosRig(const net::FaultProfile& profile, std::uint64_t seed,
-                    std::uint64_t restartAfter = 0)
+                    std::uint64_t restartAfter = 0, bool viaQueue = false)
       : server("chaos-provider.host", nullptr),
         endpoint(server, restartAfter),
         transport(profile, seed),
@@ -115,8 +127,13 @@ struct ChaosRig {
         circuit("chaosFault") {
     registerChaosMultiplier(server);
     // Install before any traffic so even OpenSession rides the faulty path.
-    channel.setTransport(&transport);
-    provider = std::make_unique<ip::ProviderHandle>(channel);
+    channel.setFaultInjector(&transport);
+    // viaQueue routes every provider call through the channel's completion
+    // queue (submit + wait) instead of the blocking path — same simulated
+    // outcome, asserted bit-for-bit by the campaign invariants.
+    provider = std::make_unique<ip::ProviderHandle>(
+        channel, viaQueue ? ip::ProviderHandle::CallMode::CompletionQueue
+                          : ip::ProviderHandle::CallMode::Blocking);
     auto& a = circuit.makeWord(kW, "a");
     auto& b = circuit.makeWord(kW, "b");
     auto& o = circuit.makeWord(2 * kW, "o");
@@ -191,14 +208,15 @@ inline ChaosOutcome runChaosCampaign(const net::FaultProfile& profile,
                                      std::size_t batch = 1,
                                      const rmi::RetryPolicy* policy = nullptr,
                                      std::size_t pooledWorkers = 0,
-                                     bool traced = true) {
+                                     bool traced = true,
+                                     bool viaQueue = false) {
   obs::Tracer& tracer = obs::Tracer::global();
   const bool wasEnabled = tracer.enabled();
   if (traced) {
     tracer.clear();
     tracer.setEnabled(true);
   }
-  ChaosRig rig(profile, seed, restartAfter);
+  ChaosRig rig(profile, seed, restartAfter, viaQueue);
   if (policy != nullptr) rig.channel.setRetryPolicy(*policy);
   const auto patterns = chaosPatterns(patternCount);
   ChaosOutcome out;

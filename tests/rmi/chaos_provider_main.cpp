@@ -1,0 +1,77 @@
+// chaos_provider_server: a real provider process for the two-process socket
+// chaos tests. Serves the chaos multiplier catalog over a Unix-domain
+// socket and exits when stdin reaches EOF (the parent test closes the pipe).
+//
+//   chaos_provider_server <unix-socket-path> [--restart-after N]
+//                         [--trace-out PATH]
+//
+// --restart-after N injects a provider crash/restart after the N-th
+// dispatched request, exactly like the in-process chaos rig, so the
+// two-process sweep can prove session recovery across a real process
+// boundary. --trace-out dumps this process's Chrome trace on exit; the
+// span-context ids the client ships inside each request stitch the
+// provider.dispatch spans under the client's channel spans, and the socket
+// test asserts that stitching survives the process hop.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "ip/provider_socket.hpp"
+#include "obs/trace.hpp"
+#include "rmi/chaos_harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vcad;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <unix-socket-path> [--restart-after N] "
+                 "[--trace-out PATH]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string socketPath = argv[1];
+  std::uint64_t restartAfter = 0;
+  std::string traceOut;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--restart-after") == 0 && i + 1 < argc) {
+      restartAfter = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      traceOut = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (!traceOut.empty()) {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().setEnabled(true);
+  }
+
+  ip::ProviderServer server("chaos-provider.host", nullptr);
+  chaos::registerChaosMultiplier(server);
+  chaos::RestartingEndpoint endpoint(server, restartAfter);
+  ip::ProviderSocketServer socket(endpoint, nullptr);
+  if (!socket.listenUnix(socketPath)) {
+    std::fprintf(stderr, "failed to listen on %s\n", socketPath.c_str());
+    return 1;
+  }
+  socket.start();
+  // Readiness handshake: the parent waits for this line before connecting.
+  std::printf("READY\n");
+  std::fflush(stdout);
+
+  // Serve until the parent closes our stdin — a pipe-based lifetime tie
+  // that also ends us if the parent dies.
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+  }
+  socket.stop();
+
+  if (!traceOut.empty()) {
+    std::ofstream out(traceOut);
+    out << obs::Tracer::global().toChromeJson();
+  }
+  return 0;
+}

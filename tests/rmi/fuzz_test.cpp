@@ -7,6 +7,7 @@
 
 #include "core/rng.hpp"
 #include "net/faulty_transport.hpp"
+#include "net/transport.hpp"
 #include "rmi/protocol.hpp"
 #include "rmi/security.hpp"
 
@@ -265,6 +266,112 @@ TEST_P(ProtocolFuzz, CorruptedSpanContextNeverCrashesTheUnmarshaller) {
       ADD_FAILURE() << "fixed-width spanContext corruption must still parse";
     }
   }
+}
+
+TEST_P(ProtocolFuzz, FrameHeadersRoundTripWithRequestIds) {
+  // The socket framing layer wraps every sealed payload in a
+  // [magic | method | request-id | length] header; both header kinds must
+  // round-trip every field bit-exactly, request id included — that id is
+  // what matches out-of-order responses back to their attempts.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<std::uint8_t> payload;
+    const std::size_t n = rng.below(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+
+    net::RequestFrameHeader rq;
+    rq.methodId = static_cast<std::uint32_t>(1 + rng.below(14));
+    rq.requestId = rng.next();
+    const auto reqFrame = net::encodeRequestFrame(rq, payload);
+    ASSERT_EQ(reqFrame.size(), net::kRequestHeaderBytes + payload.size());
+    net::RequestFrameHeader rqBack;
+    ASSERT_TRUE(net::decodeRequestFrameHeader(
+        reqFrame.data(), net::kRequestHeaderBytes, rqBack));
+    EXPECT_EQ(rqBack.methodId, rq.methodId);
+    EXPECT_EQ(rqBack.requestId, rq.requestId);
+    EXPECT_EQ(rqBack.payloadBytes, payload.size());
+
+    net::ResponseFrameHeader rs;
+    rs.status = static_cast<net::FrameStatus>(rng.below(4));
+    rs.requestId = rng.next();
+    rs.serverCpuNanos = rng.next();
+    const auto respFrame = net::encodeResponseFrame(rs, payload);
+    ASSERT_EQ(respFrame.size(), net::kResponseHeaderBytes + payload.size());
+    net::ResponseFrameHeader rsBack;
+    ASSERT_TRUE(net::decodeResponseFrameHeader(
+        respFrame.data(), net::kResponseHeaderBytes, rsBack));
+    EXPECT_EQ(rsBack.status, rs.status);
+    EXPECT_EQ(rsBack.requestId, rs.requestId);
+    EXPECT_EQ(rsBack.serverCpuNanos, rs.serverCpuNanos);
+    EXPECT_EQ(rsBack.payloadBytes, payload.size());
+  }
+}
+
+TEST_P(ProtocolFuzz, EveryTruncatedFrameHeaderPrefixIsRejected) {
+  // On the socket path the header is read as a fixed-size block; every
+  // strict prefix must fail the decoder, never be misread as a shorter
+  // valid header.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0xbf58476d1ce4e5b9ULL);
+  for (int iter = 0; iter < 20; ++iter) {
+    net::RequestFrameHeader rq;
+    rq.methodId = static_cast<std::uint32_t>(rng.next());
+    rq.requestId = rng.next();
+    const auto reqFrame = net::encodeRequestFrame(rq, {});
+    for (std::size_t len = 0; len < net::kRequestHeaderBytes; ++len) {
+      net::RequestFrameHeader out;
+      EXPECT_FALSE(net::decodeRequestFrameHeader(reqFrame.data(), len, out))
+          << "request header prefix length " << len;
+    }
+
+    net::ResponseFrameHeader rs;
+    rs.requestId = rng.next();
+    rs.serverCpuNanos = rng.next();
+    const auto respFrame = net::encodeResponseFrame(rs, {});
+    for (std::size_t len = 0; len < net::kResponseHeaderBytes; ++len) {
+      net::ResponseFrameHeader out;
+      EXPECT_FALSE(net::decodeResponseFrameHeader(respFrame.data(), len, out))
+          << "response header prefix length " << len;
+    }
+  }
+}
+
+TEST_P(ProtocolFuzz, MangledFrameHeadersNeverDecodeAsValid) {
+  // A header with a wrong magic, an out-of-range status, or an absurd
+  // length must be rejected — the stream receivers treat that as framing
+  // loss and kill the wire rather than guessing at a resync point.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x94d049bb133111ebULL);
+  for (int iter = 0; iter < 100; ++iter) {
+    net::RequestFrameHeader rq;
+    rq.methodId = static_cast<std::uint32_t>(rng.next());
+    rq.requestId = rng.next();
+    auto frame = net::encodeRequestFrame(rq, {});
+    // Any magic-byte flip must reject.
+    frame[rng.below(4)] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    net::RequestFrameHeader out;
+    EXPECT_FALSE(net::decodeRequestFrameHeader(
+        frame.data(), net::kRequestHeaderBytes, out));
+  }
+  // Oversized announced payload: decodes as hostile, not as a giant alloc.
+  net::RequestFrameHeader rq;
+  rq.requestId = 7;
+  auto frame = net::encodeRequestFrame(rq, {});
+  frame[16] = 0xff;  // payload length > kMaxFramePayloadBytes
+  frame[17] = 0xff;
+  frame[18] = 0xff;
+  frame[19] = 0xff;
+  net::RequestFrameHeader out;
+  EXPECT_FALSE(net::decodeRequestFrameHeader(frame.data(),
+                                             net::kRequestHeaderBytes, out));
+
+  net::ResponseFrameHeader rs;
+  rs.requestId = 9;
+  auto resp = net::encodeResponseFrame(rs, {});
+  resp[4] = 0x7f;  // status far beyond the enum range
+  net::ResponseFrameHeader rsOut;
+  EXPECT_FALSE(net::decodeResponseFrameHeader(
+      resp.data(), net::kResponseHeaderBytes, rsOut));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Range(1, 6));
