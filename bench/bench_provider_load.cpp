@@ -1,0 +1,277 @@
+// Closed-loop load benchmark for the multi-tenant provider front end:
+// N tenant clients, each on its own Unix-domain socket + channel, hammer
+// one MultiTenantProviderServer with blocking EvalFunction calls while
+// the worker-pool size sweeps. Reports real-clock p50/p99 latency and
+// throughput per (clients × workers) cell.
+//
+// Usage: bench_provider_load [--quick] [--json PATH] [--min-rps FLOOR]
+//
+// --min-rps gates CI: exit 1 unless at least one swept cell reaches the
+// floor (a regression that tanks every configuration fails the lane).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "ip/multi_tenant_server.hpp"
+#include "net/socket_transport.hpp"
+
+namespace vcad::bench {
+namespace {
+
+std::string uniqueSocketPath() {
+  static int counter = 0;
+  return "bench_mt_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+struct Measurement {
+  std::size_t clients = 0;
+  std::size_t workers = 0;
+  std::uint64_t requests = 0;
+  double wallSec = 0.0;
+  double p50Ms = 0.0;
+  double p99Ms = 0.0;
+  std::uint64_t framesServed = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t queuePeakDepth = 0;
+
+  double rps() const { return wallSec > 0.0 ? requests / wallSec : 0.0; }
+};
+
+/// One cell of the sweep: a fresh server with `workers` queue workers,
+/// `clients` tenant threads each issuing `callsPerClient` blocking evals.
+Measurement runCell(std::size_t clients, std::size_t workers,
+                    int callsPerClient) {
+  constexpr std::uint64_t kW = 8;
+  ip::MultiTenantProviderServer::Config cfg;
+  cfg.queue.workers = workers;
+  // Ample queue: this bench measures service latency under contention,
+  // not shedding (admission-control behaviour is the chaos suite's job).
+  cfg.queue.maxQueueDepth = std::max<std::size_t>(64, 2 * clients);
+  ip::MultiTenantProviderServer server(
+      [](ip::TenantId) {
+        auto shard = std::make_unique<ip::ProviderServer>("bench.host", nullptr);
+        registerMultiplier(*shard);
+        return std::unique_ptr<rmi::ServerEndpoint>(std::move(shard));
+      },
+      cfg);
+  const std::string path = uniqueSocketPath();
+  if (!server.listenUnix(path)) {
+    std::fprintf(stderr, "cannot listen on %s\n", path.c_str());
+    std::exit(1);
+  }
+  server.start();
+
+  // Start barrier: every client connects, opens its session, and
+  // instantiates before the measured window opens.
+  std::mutex gateMutex;
+  std::condition_variable gateCv;
+  std::size_t ready = 0;
+  bool go = false;
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      auto transport = net::SocketTransport::connectUnix(path);
+      if (transport == nullptr) {
+        std::fprintf(stderr, "client %zu cannot connect\n", i);
+        std::exit(1);
+      }
+      rmi::RmiChannel channel(std::move(transport),
+                              net::NetworkProfile::localhost(), nullptr,
+                              0x9000 + i);
+      channel.setTenant(static_cast<ip::TenantId>(i + 1));
+      ip::ProviderHandle provider(channel);
+      rmi::Args ia;
+      ia.addU64(kW);
+      auto resp = provider.call(rmi::MethodId::Instantiate, 0, std::move(ia),
+                                "MultFastLowPower");
+      if (!resp.ok()) {
+        std::fprintf(stderr, "client %zu instantiate failed\n", i);
+        std::exit(1);
+      }
+      const auto instance = resp.payload.readU64();
+      {
+        std::unique_lock<std::mutex> lock(gateMutex);
+        if (++ready == clients) gateCv.notify_all();
+        gateCv.wait(lock, [&] { return go; });
+      }
+      Rng rng(0xB00B5 + i);
+      auto& mine = latencies[i];
+      mine.reserve(static_cast<std::size_t>(callsPerClient));
+      for (int n = 0; n < callsPerClient; ++n) {
+        rmi::Args args;
+        args.addWord(Word::fromUint(2 * kW, rng.next()));
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = provider.call(rmi::MethodId::EvalFunction, instance,
+                               std::move(args));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok()) {
+          std::fprintf(stderr, "client %zu eval failed\n", i);
+          std::exit(1);
+        }
+        mine.push_back(std::chrono::duration<double>(t1 - t0).count());
+      }
+    });
+  }
+
+  std::chrono::steady_clock::time_point start;
+  {
+    std::unique_lock<std::mutex> lock(gateMutex);
+    gateCv.wait(lock, [&] { return ready == clients; });
+    go = true;
+    start = std::chrono::steady_clock::now();
+    gateCv.notify_all();
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const auto pct = [&all](double p) {
+    if (all.empty()) return 0.0;
+    const std::size_t idx = std::min(
+        all.size() - 1, static_cast<std::size_t>(p * (all.size() - 1)));
+    return all[idx] * 1e3;
+  };
+
+  Measurement m;
+  m.clients = clients;
+  m.workers = workers;
+  m.requests = all.size();
+  m.wallSec = wall;
+  m.p50Ms = pct(0.50);
+  m.p99Ms = pct(0.99);
+  const auto stats = server.stats();
+  m.framesServed = stats.framesServed;
+  m.sheds = stats.shedTooManyPending + stats.shedOverloaded;
+  m.queuePeakDepth = server.queueStats().peakDepth;
+  server.stop();
+  std::remove(path.c_str());
+  return m;
+}
+
+void printTable(const std::vector<Measurement>& rows) {
+  std::printf("\n%8s | %7s | %8s | %9s | %9s | %9s | %9s | %6s | %5s\n",
+              "clients", "workers", "requests", "wall (ms)", "req/s",
+              "p50 (ms)", "p99 (ms)", "served", "peak");
+  for (int i = 0; i < 92; ++i) std::printf("-");
+  std::printf("\n");
+  for (const Measurement& m : rows) {
+    std::printf("%8zu | %7zu | %8llu | %9.1f | %9.0f | %9.3f | %9.3f | "
+                "%6llu | %5llu\n",
+                m.clients, m.workers,
+                static_cast<unsigned long long>(m.requests), m.wallSec * 1e3,
+                m.rps(), m.p50Ms, m.p99Ms,
+                static_cast<unsigned long long>(m.framesServed),
+                static_cast<unsigned long long>(m.queuePeakDepth));
+  }
+}
+
+void writeJson(const std::string& path, const std::vector<Measurement>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    std::fprintf(f,
+                 "  {\"clients\": %zu, \"workers\": %zu, \"requests\": %llu, "
+                 "\"wall_sec\": %.6f, \"rps\": %.1f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"frames_served\": %llu, \"sheds\": %llu, "
+                 "\"queue_peak_depth\": %llu}%s\n",
+                 m.clients, m.workers,
+                 static_cast<unsigned long long>(m.requests), m.wallSec,
+                 m.rps(), m.p50Ms, m.p99Ms,
+                 static_cast<unsigned long long>(m.framesServed),
+                 static_cast<unsigned long long>(m.sheds),
+                 static_cast<unsigned long long>(m.queuePeakDepth),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace vcad::bench
+
+int main(int argc, char** argv) {
+  using namespace vcad::bench;
+  bool quick = false;
+  std::string jsonPath;
+  double minRps = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-rps") == 0 && i + 1 < argc) {
+      minRps = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--min-rps FLOOR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> clientCounts =
+      quick ? std::vector<std::size_t>{8, 32}
+            : std::vector<std::size_t>{1, 8, 32, 64};
+  const std::vector<std::size_t> workerCounts =
+      quick ? std::vector<std::size_t>{2, 8}
+            : std::vector<std::size_t>{1, 4, 8, 16};
+  const int callsPerClient = quick ? 50 : 200;
+
+  std::printf("Multi-tenant provider load: %zu client counts x %zu worker "
+              "counts, %d blocking evals/client (%s mode, %u hardware "
+              "threads)\n",
+              clientCounts.size(), workerCounts.size(), callsPerClient,
+              quick ? "quick" : "full", std::thread::hardware_concurrency());
+
+  std::vector<Measurement> rows;
+  for (std::size_t clients : clientCounts) {
+    for (std::size_t workers : workerCounts) {
+      rows.push_back(runCell(clients, workers, callsPerClient));
+      const Measurement& m = rows.back();
+      std::printf("  %2zu clients x %2zu workers: %7.0f req/s, p50 %.3f ms, "
+                  "p99 %.3f ms\n",
+                  clients, workers, m.rps(), m.p50Ms, m.p99Ms);
+    }
+  }
+
+  printTable(rows);
+  if (!jsonPath.empty()) writeJson(jsonPath, rows);
+
+  if (minRps > 0.0) {
+    double best = 0.0;
+    for (const Measurement& m : rows) best = std::max(best, m.rps());
+    if (best < minRps) {
+      std::fprintf(stderr,
+                   "FAIL: best throughput %.0f req/s is below the %.0f "
+                   "req/s floor\n",
+                   best, minRps);
+      return 1;
+    }
+    std::printf("throughput floor met: best %.0f req/s >= %.0f req/s\n", best,
+                minRps);
+  }
+  return 0;
+}

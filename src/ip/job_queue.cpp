@@ -1,0 +1,145 @@
+#include "ip/job_queue.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace vcad::ip {
+
+namespace {
+
+struct QueueMetrics {
+  obs::Registry::MetricId depth, enqueued, executed, shedTooManyPending,
+      shedOverloaded;
+
+  static const QueueMetrics& get() {
+    static const QueueMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      QueueMetrics ids;
+      ids.depth = r.gauge("mt.queue.depth");
+      ids.enqueued = r.counter("mt.queue.enqueued");
+      ids.executed = r.counter("mt.queue.executed");
+      ids.shedTooManyPending = r.counter("mt.queue.shedTooManyPending");
+      ids.shedOverloaded = r.counter("mt.queue.shedOverloaded");
+      return ids;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+std::string toString(JobQueue::Admit verdict) {
+  switch (verdict) {
+    case JobQueue::Admit::Ok:
+      return "Ok";
+    case JobQueue::Admit::TooManyPending:
+      return "TooManyPending";
+    case JobQueue::Admit::Overloaded:
+      return "Overloaded";
+    case JobQueue::Admit::Stopped:
+      return "Stopped";
+  }
+  return "?";
+}
+
+JobQueue::JobQueue(const Config& config) : config_(config) {
+  config_.workers = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+JobQueue::~JobQueue() { stop(); }
+
+JobQueue::Admit JobQueue::add(net::JobPriority priority, Job job) {
+  const std::size_t lane = static_cast<std::size_t>(priority);
+  obs::Registry& reg = obs::Registry::global();
+  const QueueMetrics& ids = QueueMetrics::get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      ++stats_.rejectedStopped;
+      return Admit::Stopped;
+    }
+    // Global bound first: a saturated server is Overloaded regardless of
+    // which lane the request wanted.
+    if (config_.maxQueueDepth != 0 && depth_ >= config_.maxQueueDepth) {
+      ++stats_.shedOverloaded;
+      reg.add(ids.shedOverloaded);
+      return Admit::Overloaded;
+    }
+    const std::size_t laneBound = config_.perPriorityDepth[lane];
+    if (laneBound != 0 && lanes_[lane].size() >= laneBound) {
+      ++stats_.shedTooManyPending;
+      reg.add(ids.shedTooManyPending);
+      return Admit::TooManyPending;
+    }
+    lanes_[lane].push_back(std::move(job));
+    ++depth_;
+    ++stats_.enqueued;
+    stats_.peakDepth = std::max(stats_.peakDepth, depth_);
+    reg.add(ids.enqueued);
+    reg.maxGauge(ids.depth, static_cast<std::int64_t>(depth_));
+  }
+  workCv_.notify_one();
+  return Admit::Ok;
+}
+
+void JobQueue::workerLoop() {
+  for (;;) {
+    Job job;
+    std::size_t lane = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workCv_.wait(lock, [this] { return depth_ != 0 || stop_; });
+      if (depth_ == 0) return;  // stop_ and nothing admitted: done
+      // Most urgent non-empty lane, FIFO within it.
+      while (lane < net::kJobPriorityCount && lanes_[lane].empty()) ++lane;
+      job = std::move(lanes_[lane].front());
+      lanes_[lane].pop_front();
+      --depth_;
+      ++running_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      ++stats_.executed;
+      ++stats_.executedByPriority[lane];
+    }
+    obs::Registry::global().add(QueueMetrics::get().executed);
+    idleCv_.notify_all();
+  }
+}
+
+void JobQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [this] { return depth_ == 0 && running_ == 0; });
+}
+
+void JobQueue::stop() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+    workers.swap(workers_);
+  }
+  workCv_.notify_all();
+  for (std::thread& t : workers) t.join();
+  idleCv_.notify_all();
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+}  // namespace vcad::ip

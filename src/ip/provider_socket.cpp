@@ -121,6 +121,11 @@ std::uint16_t ProviderSocketServer::listenTcp(std::uint16_t port) {
 void ProviderSocketServer::start() {
   if (listenFd_ < 0 || acceptThread_.joinable()) return;
   acceptThread_ = std::thread([this] { acceptLoop(); });
+  // Readiness handshake: don't return until the loop is actually in
+  // accept() territory, so callers can treat "start() returned" as "a
+  // connect will be served".
+  std::unique_lock<std::mutex> lock(mutex_);
+  statsCv_.wait(lock, [this] { return accepting_ || stopping_.load(); });
 }
 
 void ProviderSocketServer::stop() {
@@ -132,6 +137,7 @@ void ProviderSocketServer::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
+    statsCv_.notify_all();  // releases a start() stuck before accepting_
   }
   if (acceptThread_.joinable()) acceptThread_.join();
   std::vector<std::thread> threads;
@@ -157,7 +163,23 @@ ProviderSocketServer::Stats ProviderSocketServer::stats() const {
   return stats_;
 }
 
+bool ProviderSocketServer::awaitStats(
+    const std::function<bool(const Stats&)>& pred, double timeoutSec) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeoutSec < 0 ? 0 : timeoutSec));
+  return statsCv_.wait_until(lock, deadline,
+                             [&] { return pred(stats_); });
+}
+
 void ProviderSocketServer::acceptLoop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = true;
+    statsCv_.notify_all();
+  }
   for (;;) {
     const int fd = ::accept(listenFd_, nullptr, nullptr);
     if (fd < 0) {
@@ -175,6 +197,7 @@ void ProviderSocketServer::acceptLoop() {
     obs::Registry::global().add(SocketMetrics::get().connections);
     connFds_.insert(fd);
     connThreads_.emplace_back([this, fd] { serveConnection(fd); });
+    statsCv_.notify_all();
   }
 }
 
@@ -189,6 +212,7 @@ void ProviderSocketServer::serveConnection(int fd) {
       // connection dies. The client sees a dead wire, not garbage.
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.malformedHeaders;
+      statsCv_.notify_all();
       if (log_ != nullptr) {
         log_->warning("provider socket: malformed frame header; closing");
       }
@@ -218,6 +242,7 @@ void ProviderSocketServer::serveConnection(int fd) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.shedRequests;
         obs::Registry::global().add(SocketMetrics::get().shedRequests);
+        statsCv_.notify_all();
       }
       net::ResponseFrameHeader rh;
       rh.status = net::FrameStatus::TooManyPending;
@@ -233,6 +258,7 @@ void ProviderSocketServer::serveConnection(int fd) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.discardedFrames;
       obs::Registry::global().add(SocketMetrics::get().discardedFrames);
+      statsCv_.notify_all();
       if (tracer.enabled()) {
         tracer.instant("provider.socket.discardedFrame", "provider",
                        {{"bytes", static_cast<double>(h.payloadBytes)}});
@@ -251,6 +277,7 @@ void ProviderSocketServer::serveConnection(int fd) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.malformedPayloads;
+        statsCv_.notify_all();
       }
       net::ResponseFrameHeader rh;
       rh.status = net::FrameStatus::MalformedRequest;
@@ -281,6 +308,7 @@ void ProviderSocketServer::serveConnection(int fd) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.framesServed;
       obs::Registry::global().add(SocketMetrics::get().framesServed);
+      statsCv_.notify_all();
     }
   }
   ::close(fd);

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <string>
@@ -43,7 +45,11 @@ class ProviderSocketServer {
   /// Returns the bound port, or 0 on failure.
   std::uint16_t listenTcp(std::uint16_t port = 0);
 
-  /// Starts the accept loop (after a successful listen*).
+  /// Starts the accept loop (after a successful listen*) and returns only
+  /// once the loop is live — a readiness handshake: when start() returns,
+  /// a connect() will be accepted, so "server is up" signals (a parent
+  /// process printing READY, a test proceeding to connect) are never a
+  /// sleep-and-hope race.
   void start();
   /// Closes the listener and every live connection, joins all threads.
   /// Idempotent; also run by the destructor.
@@ -64,6 +70,12 @@ class ProviderSocketServer {
   };
   Stats stats() const;
 
+  /// Blocks until `pred(stats())` holds or `timeoutSec` of real time
+  /// passes; returns whether the predicate held. Condition-variable based —
+  /// the deterministic replacement for sleep-polling the stats struct.
+  bool awaitStats(const std::function<bool(const Stats&)>& pred,
+                  double timeoutSec) const;
+
  private:
   void acceptLoop();
   void serveConnection(int fd);
@@ -77,6 +89,8 @@ class ProviderSocketServer {
   std::size_t maxConcurrentDispatches_ = 0;  // 0 = unlimited
   std::mutex dispatchMutex_;  // one in-flight request per endpoint
   mutable std::mutex mutex_;  // conn fds, threads, stats
+  mutable std::condition_variable statsCv_;  // pulsed on every stats change
+  bool accepting_ = false;  // accept loop live (guarded by mutex_)
   std::set<int> connFds_;
   std::vector<std::thread> connThreads_;
   Stats stats_;

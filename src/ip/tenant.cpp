@@ -1,0 +1,29 @@
+#include "ip/tenant.hpp"
+
+namespace vcad::ip {
+
+bool withinQuota(const TenantQuota& quota, const TenantUsage& usage) {
+  if (quota.maxFeeCents >= 0.0 && usage.feesCents >= quota.maxFeeCents) {
+    return false;
+  }
+  if (quota.maxBilledCalls != 0 &&
+      usage.billedCalls >= quota.maxBilledCalls) {
+    return false;
+  }
+  return true;
+}
+
+std::string describe(const TenantQuota& quota) {
+  if (quota.unlimited()) return "unlimited";
+  std::string out;
+  if (quota.maxFeeCents >= 0.0) {
+    out += "maxFeeCents=" + std::to_string(quota.maxFeeCents);
+  }
+  if (quota.maxBilledCalls != 0) {
+    if (!out.empty()) out += " ";
+    out += "maxBilledCalls=" + std::to_string(quota.maxBilledCalls);
+  }
+  return out;
+}
+
+}  // namespace vcad::ip

@@ -108,11 +108,8 @@ void SocketTransport::markDead() {
   replyCv_.notify_all();
 }
 
-void SocketTransport::send(std::uint32_t methodId, std::uint64_t requestId,
+void SocketTransport::send(const RequestFrameHeader& header,
                            const std::vector<std::uint8_t>& sealedPayload) {
-  RequestFrameHeader header;
-  header.methodId = methodId;
-  header.requestId = requestId;
   const std::vector<std::uint8_t> frame =
       encodeRequestFrame(header, sealedPayload);
   {
@@ -120,7 +117,7 @@ void SocketTransport::send(std::uint32_t methodId, std::uint64_t requestId,
     // fast server's reply is never miscounted as unknown.
     std::lock_guard<std::mutex> lock(mutex_);
     if (dead_) return;
-    expected_.insert(requestId);
+    expected_.insert(header.requestId);
   }
   bool ok;
   {

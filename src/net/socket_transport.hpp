@@ -57,7 +57,7 @@ class SocketTransport final : public Transport {
   static std::unique_ptr<SocketTransport> connectTcp(const std::string& host,
                                                      std::uint16_t port);
 
-  void send(std::uint32_t methodId, std::uint64_t requestId,
+  void send(const RequestFrameHeader& header,
             const std::vector<std::uint8_t>& sealedPayload) override;
   TransportReply awaitReply(std::uint64_t requestId,
                             double realDeadlineSec) override;

@@ -39,8 +39,26 @@ std::string toString(FrameStatus s) {
       return "TooManyPending";
     case FrameStatus::Shutdown:
       return "Shutdown";
+    case FrameStatus::Overloaded:
+      return "Overloaded";
+    case FrameStatus::QuotaExceeded:
+      return "QuotaExceeded";
   }
   return "FrameStatus(" + std::to_string(static_cast<std::uint32_t>(s)) + ")";
+}
+
+std::string toString(JobPriority p) {
+  switch (p) {
+    case JobPriority::Control:
+      return "Control";
+    case JobPriority::Query:
+      return "Query";
+    case JobPriority::Compute:
+      return "Compute";
+    case JobPriority::Batch:
+      return "Batch";
+  }
+  return "JobPriority(" + std::to_string(static_cast<std::uint32_t>(p)) + ")";
 }
 
 std::vector<std::uint8_t> encodeRequestFrame(
@@ -51,6 +69,8 @@ std::vector<std::uint8_t> encodeRequestFrame(
   putU32(out, kRequestMagic);
   putU32(out, header.methodId);
   putU64(out, header.requestId);
+  putU64(out, header.tenantId);
+  putU32(out, static_cast<std::uint32_t>(header.priority));
   putU32(out, header.payloadBytes);
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
@@ -76,7 +96,13 @@ bool decodeRequestFrameHeader(const std::uint8_t* data, std::size_t size,
   if (getU32(data) != kRequestMagic) return false;
   out.methodId = getU32(data + 4);
   out.requestId = getU64(data + 8);
-  out.payloadBytes = getU32(data + 16);
+  out.tenantId = getU64(data + 16);
+  const std::uint32_t priority = getU32(data + 24);
+  // An out-of-range priority can only come from a desynchronized or hostile
+  // stream — reject it like a bad magic rather than clamping.
+  if (priority >= kJobPriorityCount) return false;
+  out.priority = static_cast<JobPriority>(priority);
+  out.payloadBytes = getU32(data + 28);
   return out.payloadBytes <= kMaxFramePayloadBytes;
 }
 
@@ -85,7 +111,9 @@ bool decodeResponseFrameHeader(const std::uint8_t* data, std::size_t size,
   if (data == nullptr || size < kResponseHeaderBytes) return false;
   if (getU32(data) != kResponseMagic) return false;
   const std::uint32_t status = getU32(data + 4);
-  if (status > static_cast<std::uint32_t>(FrameStatus::Shutdown)) return false;
+  if (status > static_cast<std::uint32_t>(FrameStatus::QuotaExceeded)) {
+    return false;
+  }
   out.status = static_cast<FrameStatus>(status);
   out.requestId = getU64(data + 8);
   out.serverCpuNanos = getU64(data + 16);

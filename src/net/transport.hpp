@@ -16,9 +16,16 @@
 //   u32 magic 'VCRQ'         u32 magic 'VCRS'
 //   u32 method id            u32 status (FrameStatus)
 //   u64 request id           u64 request id
-//   u32 payload length       u64 server CPU nanos
-//   payload bytes...         u32 payload length
-//                            payload bytes...
+//   u64 tenant id            u64 server CPU nanos
+//   u32 priority             u32 payload length
+//   u32 payload length       payload bytes...
+//   payload bytes...
+//
+// The tenant id and priority live in the *frame* header, not the sealed
+// payload: a multi-tenant front end must route and shed before it spends
+// any cycles opening the checksum, and the sealed request bytes stay
+// identical across single- and multi-tenant deployments (same fault-plan
+// corruption surface, same byte accounting).
 //
 // The payload is the sealed (checksummed) marshalled rmi::Request /
 // rmi::Response — exactly the bytes the in-process path exchanges, so byte
@@ -42,14 +49,34 @@ enum class FrameStatus : std::uint32_t {
   MalformedRequest = 1,  // frame arrived intact but the payload would not
                          // unmarshal (protocol bug or hostile client)
   TooManyPending = 2,   // server admission control shed the request
+                         // (per-priority queue lane at capacity)
   Shutdown = 3,         // server is draining connections
+  Overloaded = 4,       // total job-queue depth at capacity — the server as
+                         // a whole is saturated, not just one lane
+  QuotaExceeded = 5,    // the tenant's fee/call quota is exhausted; the
+                         // client must NOT retry (deterministic rejection)
 };
 
 std::string toString(FrameStatus s);
 
+/// Priority lane of one request through a multi-tenant provider's job
+/// queue (the rippled JobQueue idiom: per-method job types with
+/// priorities). Lower value = more urgent. Stamped client-side from the
+/// method id (rmi::priorityFor); single-tenant servers ignore it.
+enum class JobPriority : std::uint32_t {
+  Control = 0,  // session open/close — must get through even under load
+  Query = 1,    // cheap metadata reads (catalog, fault list, negotiate)
+  Compute = 2,  // single-shot simulation work (eval, estimates, seq steps)
+  Batch = 3,    // bulk buffers (pattern-buffer power, batched tables)
+};
+
+inline constexpr std::uint32_t kJobPriorityCount = 4;
+
+std::string toString(JobPriority p);
+
 inline constexpr std::uint32_t kRequestMagic = 0x56435251u;   // 'VCRQ'
 inline constexpr std::uint32_t kResponseMagic = 0x56435253u;  // 'VCRS'
-inline constexpr std::size_t kRequestHeaderBytes = 20;
+inline constexpr std::size_t kRequestHeaderBytes = 32;
 inline constexpr std::size_t kResponseHeaderBytes = 28;
 /// A header announcing more than this is treated as malformed — it can only
 /// come from a desynchronized or hostile stream, never from this client.
@@ -58,6 +85,10 @@ inline constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
 struct RequestFrameHeader {
   std::uint32_t methodId = 0;
   std::uint64_t requestId = 0;
+  /// Which tenant's ledger/quota/replay-shard this request bills against.
+  /// 0 = the anonymous single-tenant default.
+  std::uint64_t tenantId = 0;
+  JobPriority priority = JobPriority::Query;
   std::uint32_t payloadBytes = 0;
 };
 
@@ -101,8 +132,9 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  /// Ships one sealed request payload. Never blocks on the response.
-  virtual void send(std::uint32_t methodId, std::uint64_t requestId,
+  /// Ships one sealed request payload under `header` (whose payloadBytes
+  /// field is recomputed from the payload). Never blocks on the response.
+  virtual void send(const RequestFrameHeader& header,
                     const std::vector<std::uint8_t>& sealedPayload) = 0;
 
   /// Awaits the next response frame carrying `requestId`.

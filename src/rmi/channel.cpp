@@ -63,7 +63,8 @@ const char* methodSpanName(MethodId m) {
 struct RmiMetrics {
   obs::Registry::MetricId calls, blockedCalls, asyncCalls, securityRejections,
       bytesSent, bytesReceived, retries, timeouts, duplicatesSuppressed,
-      corruptedFramesDropped, transportFailures;
+      corruptedFramesDropped, transportFailures, shedResponses,
+      quotaRejections;
   obs::Registry::MetricId blockingWallSec, nonblockingWallSec, serverCpuSec,
       feesCents, networkSec;
   obs::Registry::MetricId callWallSec;
@@ -83,6 +84,8 @@ struct RmiMetrics {
       ids.duplicatesSuppressed = r.counter("rmi.duplicatesSuppressed");
       ids.corruptedFramesDropped = r.counter("rmi.corruptedFramesDropped");
       ids.transportFailures = r.counter("rmi.transportFailures");
+      ids.shedResponses = r.counter("rmi.shedResponses");
+      ids.quotaRejections = r.counter("rmi.quotaRejections");
       ids.blockingWallSec = r.doubleCounter("rmi.blockingWallSec");
       ids.nonblockingWallSec = r.doubleCounter("rmi.nonblockingWallSec");
       ids.serverCpuSec = r.doubleCounter("rmi.serverCpuSec");
@@ -411,9 +414,13 @@ RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
   // copy without re-executing.
   const std::uint64_t requestId =
       nextRequestId_.fetch_add(1, std::memory_order_relaxed);
-  const std::uint32_t methodId = static_cast<std::uint32_t>(request.method);
-  wire_->send(methodId, requestId, frame);
-  if (plan.duplicateRequest) wire_->send(methodId, requestId, frame);
+  net::RequestFrameHeader frameHeader;
+  frameHeader.methodId = static_cast<std::uint32_t>(request.method);
+  frameHeader.requestId = requestId;
+  frameHeader.tenantId = tenantId_.load(std::memory_order_acquire);
+  frameHeader.priority = priorityFor(request.method);
+  wire_->send(frameHeader, frame);
+  if (plan.duplicateRequest) wire_->send(frameHeader, frame);
 
   // A corrupted frame is checksum-rejected and silently discarded by the
   // receiver, so only a short real-time grace wait covers it.
@@ -426,10 +433,33 @@ RmiChannel::Attempt RmiChannel::attemptOnce(const net::ByteBuffer& wire,
     timeout(plan.corruptRequest);
     return a;
   }
+  if (first.status == net::FrameStatus::QuotaExceeded) {
+    // Deterministic admission rejection: the tenant's quota is spent, and
+    // retrying cannot change that. Deliver a typed terminal response
+    // immediately — no deadline burned, no retry. Only the response frame
+    // header travelled back, so the wire charge is the header's.
+    wire_->discard(requestId);
+    a.quotaRejected = true;
+    a.delivered = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const double d = model_.messageDelaySec(net::kResponseHeaderBytes);
+      a.networkSec += d;
+      a.wallSec += d;
+    }
+    a.response = Response::failure(
+        Status::PaymentRequired,
+        "provider admission control: tenant quota exhausted");
+    return a;
+  }
   if (first.status != net::FrameStatus::Ok) {
     // Typed carrier-level rejection (admission shed, draining server): no
     // response payload exists. The attempt burns its deadline and the retry
     // loop backs off, like any other lost exchange.
+    if (first.status == net::FrameStatus::TooManyPending ||
+        first.status == net::FrameStatus::Overloaded) {
+      a.shedByServer = true;
+    }
     wire_->discard(requestId);
     timeout(false);
     return a;
@@ -556,6 +586,8 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
   std::uint64_t timeouts = 0;
   std::uint64_t corruptedFrames = 0;
   std::uint64_t retries = 0;
+  std::uint64_t sheds = 0;
+  bool quotaRejected = false;
   bool delivered = false;
   Response finalResponse;
   for (int attempt = 1; attempt <= policy_.maxAttempts; ++attempt) {
@@ -579,8 +611,10 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
     sum.duplicatesSuppressed += a.duplicatesSuppressed;
     if (a.timedOut) ++timeouts;
     if (a.corruptedFrame) ++corruptedFrames;
+    if (a.shedByServer) ++sheds;
     if (a.delivered) {
       delivered = true;
+      quotaRejected = a.quotaRejected;
       finalResponse = std::move(a.response);
       break;
     }
@@ -620,6 +654,8 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
     stats_.timeouts += timeouts;
     stats_.duplicatesSuppressed += sum.duplicatesSuppressed;
     stats_.corruptedFramesDropped += corruptedFrames;
+    stats_.shedResponses += sheds;
+    if (quotaRejected) ++stats_.quotaRejections;
     if (!delivered) ++stats_.transportFailures;
     // Fees only from a delivered response; replayed responses carry the fee
     // of the original execution, charged server-side exactly once.
@@ -646,6 +682,8 @@ Response RmiChannel::transact(const Request& request, bool blocking) {
     if (corruptedFrames != 0) {
       reg.add(ids.corruptedFramesDropped, corruptedFrames);
     }
+    if (sheds != 0) reg.add(ids.shedResponses, sheds);
+    if (quotaRejected) reg.add(ids.quotaRejections);
     if (!delivered) reg.add(ids.transportFailures);
     if (delivered) reg.addDouble(ids.feesCents, finalResponse.feeCents);
     reg.observe(ids.callWallSec, sum.wallSec);

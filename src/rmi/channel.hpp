@@ -105,6 +105,12 @@ struct ChannelStats {
   std::uint64_t corruptedFramesDropped = 0;  // checksum-rejected frames
   std::uint64_t transportFailures = 0;  // calls declared dead after the
                                         // attempt budget
+  std::uint64_t shedResponses = 0;  // typed admission sheds received
+                                    // (TooManyPending / Overloaded), counted
+                                    // identically on every transport backend
+  std::uint64_t quotaRejections = 0;  // typed QuotaExceeded rejections: the
+                                      // provider refused the tenant, the
+                                      // call failed without retrying
   double networkSec = 0.0;  // deterministic transport time only: wire
                             // delays + timeouts + backoff, NO server compute
                             // (bit-reproducible from the channel seed)
@@ -187,6 +193,17 @@ class RmiChannel {
   /// socket backends ever wait for real; loopback completes immediately.
   void setRealAwaitSec(double sec) { realAwaitSec_ = sec; }
 
+  /// Tenant id stamped into every request frame header, identifying whose
+  /// quota/ledger/replay-shard this channel bills against on a multi-tenant
+  /// provider. 0 (the default) is the anonymous single-tenant identity.
+  /// Set before traffic starts; single-tenant servers ignore it.
+  void setTenant(std::uint64_t tenantId) {
+    tenantId_.store(tenantId, std::memory_order_release);
+  }
+  std::uint64_t tenant() const {
+    return tenantId_.load(std::memory_order_acquire);
+  }
+
   /// Mints a fresh idempotency key (same generator `call` uses to stamp
   /// unkeyed requests). A caller that re-issues a failed logical call with
   /// the SAME key is recognized by the provider's replay cache, and the
@@ -225,6 +242,8 @@ class RmiChannel {
     std::uint64_t duplicatesSuppressed = 0;
     bool timedOut = false;
     bool corruptedFrame = false;
+    bool shedByServer = false;   // typed TooManyPending / Overloaded reply
+    bool quotaRejected = false;  // typed QuotaExceeded reply (terminal)
   };
 
   struct AsyncJob {
@@ -254,6 +273,7 @@ class RmiChannel {
   net::FaultyTransport* faultInjector_ = nullptr;
   RetryPolicy policy_;
   double realAwaitSec_ = 5.0;
+  std::atomic<std::uint64_t> tenantId_{0};
   std::uint64_t keySalt_;
   std::atomic<std::uint64_t> nextKey_{1};
   /// Unique per transmission attempt (a retransmission gets a fresh id), so

@@ -9,9 +9,32 @@ namespace vcad::rmi {
 LoopbackTransport::LoopbackTransport(ServerEndpoint& endpoint)
     : endpoint_(&endpoint) {}
 
-void LoopbackTransport::send(std::uint32_t /*methodId*/,
-                             std::uint64_t requestId,
+void LoopbackTransport::setMaxConcurrentDispatches(std::size_t cap) {
+  maxConcurrentDispatches_.store(cap, std::memory_order_release);
+}
+
+std::uint64_t LoopbackTransport::shedRequests() const {
+  return shedRequests_.load(std::memory_order_acquire);
+}
+
+void LoopbackTransport::send(const net::RequestFrameHeader& header,
                              const std::vector<std::uint8_t>& sealedPayload) {
+  const std::uint64_t requestId = header.requestId;
+
+  // Admission control, checked exactly like the socket front end: before
+  // any receive work, against the count of dispatches already executing.
+  const std::size_t cap =
+      maxConcurrentDispatches_.load(std::memory_order_acquire);
+  if (cap != 0 && dispatching_.load(std::memory_order_acquire) >= cap) {
+    shedRequests_.fetch_add(1, std::memory_order_acq_rel);
+    net::TransportReply shed;
+    shed.delivered = true;
+    shed.status = net::FrameStatus::TooManyPending;
+    std::lock_guard<std::mutex> lock(mutex_);
+    arrived_[requestId].push_back(std::move(shed));
+    return;
+  }
+
   // Server-side receive: checksum, then bounds-checked unmarshal. A damaged
   // frame is discarded without a reply — defense in depth: even a checksum
   // collision must not crash the server.
@@ -28,12 +51,14 @@ void LoopbackTransport::send(std::uint32_t /*methodId*/,
   Response response;
   double cpuSec = 0.0;
   {
+    dispatching_.fetch_add(1, std::memory_order_acq_rel);
     std::lock_guard<std::mutex> dispatchLock(dispatchMutex_);
     const auto start = std::chrono::steady_clock::now();
     response = endpoint_->dispatch(onServer);
     cpuSec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            start)
                  .count();
+    dispatching_.fetch_sub(1, std::memory_order_acq_rel);
   }
 
   net::TransportReply reply;

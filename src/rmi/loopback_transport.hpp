@@ -13,6 +13,7 @@
 // pipeline through it — the guarantee endpoint implementations rely on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -28,7 +29,7 @@ class LoopbackTransport final : public net::Transport {
  public:
   explicit LoopbackTransport(ServerEndpoint& endpoint);
 
-  void send(std::uint32_t methodId, std::uint64_t requestId,
+  void send(const net::RequestFrameHeader& header,
             const std::vector<std::uint8_t>& sealedPayload) override;
   net::TransportReply awaitReply(std::uint64_t requestId,
                                  double realDeadlineSec) override;
@@ -37,9 +38,23 @@ class LoopbackTransport final : public net::Transport {
 
   ServerEndpoint& endpoint() { return *endpoint_; }
 
+  /// Admission control mirroring ProviderSocketServer: a request arriving
+  /// while `cap` dispatches are already executing is answered with a typed
+  /// FrameStatus::TooManyPending frame instead of queueing behind the
+  /// dispatch mutex. Default 0 = unlimited. Gives the in-process backend
+  /// the same shed surface as the socket one, so channel-level shed
+  /// accounting can be proven uniform across both.
+  void setMaxConcurrentDispatches(std::size_t cap);
+
+  /// TooManyPending replies produced by the admission cap.
+  std::uint64_t shedRequests() const;
+
  private:
   ServerEndpoint* endpoint_;
   std::mutex dispatchMutex_;  // one in-flight request per endpoint
+  std::atomic<std::size_t> dispatching_{0};
+  std::atomic<std::size_t> maxConcurrentDispatches_{0};  // 0 = unlimited
+  std::atomic<std::uint64_t> shedRequests_{0};
   std::mutex mutex_;          // reply queues
   std::map<std::uint64_t, std::deque<net::TransportReply>> arrived_;
 };

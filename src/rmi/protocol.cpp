@@ -38,6 +38,30 @@ std::string toString(MethodId m) {
   return "?";
 }
 
+net::JobPriority priorityFor(MethodId m) {
+  switch (m) {
+    case MethodId::OpenSession:
+    case MethodId::CloseSession:
+      return net::JobPriority::Control;
+    case MethodId::GetCatalog:
+    case MethodId::GetFaultList:
+    case MethodId::Negotiate:
+      return net::JobPriority::Query;
+    case MethodId::Instantiate:
+    case MethodId::EvalFunction:
+    case MethodId::EstimateTiming:
+    case MethodId::EstimateArea:
+    case MethodId::GetDetectionTable:
+    case MethodId::SeqReset:
+    case MethodId::SeqStep:
+      return net::JobPriority::Compute;
+    case MethodId::EstimatePower:      // pattern buffer
+    case MethodId::GetDetectionTables:  // batched tables
+      return net::JobPriority::Batch;
+  }
+  return net::JobPriority::Compute;
+}
+
 bool isNonIdempotent(MethodId m) {
   switch (m) {
     case MethodId::Instantiate:     // creates an instance + charges a fee

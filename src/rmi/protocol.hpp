@@ -18,6 +18,7 @@
 #include <string>
 
 #include "net/serialize.hpp"
+#include "net/transport.hpp"
 
 namespace vcad::rmi {
 
@@ -45,6 +46,13 @@ enum class MethodId : std::uint32_t {
 };
 
 std::string toString(MethodId m);
+
+/// Job-queue lane for a method, stamped into the request frame header by
+/// the client channel (the per-method job types of the rippled JobQueue
+/// idiom). Session control outranks everything so sessions can always be
+/// opened and closed under load; bulk buffer methods yield to single-shot
+/// simulation work.
+net::JobPriority priorityFor(MethodId m);
 
 /// Argument field categories. The marshalling filter admits only the
 /// port-level / bookkeeping ones.

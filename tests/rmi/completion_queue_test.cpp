@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rmi/loopback_transport.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -263,6 +265,91 @@ TEST(CompletionQueue, ResetStatsMidCampaignIsRaceFree) {
   EXPECT_EQ(s.bytesSent, 0u);
   EXPECT_DOUBLE_EQ(s.blockingWallSec, 0.0);
   EXPECT_DOUBLE_EQ(s.feesCents, 0.0);
+}
+
+// waitAny under fire: concurrent submitters and concurrent waitAny
+// consumers racing over a capped loopback, so completions are a mix of
+// successes and typed admission sheds that burned their attempt budget.
+// Under TSan this is the completion-queue concurrency gate; everywhere else
+// it still proves exactly-once claiming and loss-free accounting.
+TEST(CompletionQueue, WaitAnyStressMixesShedsAndSuccesses) {
+  GatedServer server;
+  RmiChannel ch(server, net::NetworkProfile::ideal());
+  auto& loopback = dynamic_cast<LoopbackTransport&>(ch.wire());
+  loopback.setMaxConcurrentDispatches(1);
+
+  // Phase 1 — deterministic sheds: one call occupies the only dispatch
+  // slot; every later call's every attempt sees the slot taken, sheds
+  // with a typed TooManyPending, and fails after its whole budget.
+  RmiChannel::CallHandle gated = ch.submit(echoRequest(0xAA));
+  server.awaitEntered(1);
+  constexpr int kShedCalls = 19;
+  for (int i = 0; i < kShedCalls; ++i) ch.submit(echoRequest(i));
+  for (int i = 0; i < kShedCalls; ++i) {
+    auto done = ch.waitAny();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->second.status, Status::TransportFailure);
+  }
+  const int budget = ch.retryPolicy().maxAttempts;
+  EXPECT_EQ(ch.stats().shedResponses,
+            static_cast<std::uint64_t>(kShedCalls * budget));
+  EXPECT_EQ(ch.stats().transportFailures,
+            static_cast<std::uint64_t>(kShedCalls));
+  server.release();
+  ASSERT_TRUE(ch.wait(gated).ok());
+
+  // Phase 2 — the race: submitters and waitAny consumers run concurrently
+  // against the still-capped transport. Outcomes are timing-dependent
+  // (collisions shed and may exhaust the budget), but every submission must
+  // be claimed exactly once and the ok/fail split must add up.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 45;
+  constexpr int kTotal = kThreads * kPerThread;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&ch, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ch.submit(echoRequest(t * 1000 + i));
+      }
+    });
+  }
+  std::atomic<int> claimed{0};
+  std::atomic<int> okCount{0};
+  std::atomic<int> failCount{0};
+  std::mutex claimMutex;
+  std::set<std::uint64_t> claimedIds;
+  std::atomic<bool> doubleClaim{false};
+  auto consume = [&] {
+    while (claimed.load(std::memory_order_acquire) < kTotal) {
+      auto done = ch.waitAny();
+      if (!done.has_value()) {
+        std::this_thread::yield();  // submitters may not have caught up yet
+        continue;
+      }
+      claimed.fetch_add(1, std::memory_order_acq_rel);
+      if (done->second.ok()) {
+        ++okCount;
+      } else {
+        EXPECT_EQ(done->second.status, Status::TransportFailure);
+        ++failCount;
+      }
+      std::lock_guard<std::mutex> lock(claimMutex);
+      if (!claimedIds.insert(done->first.id).second) doubleClaim = true;
+    }
+  };
+  std::thread consumerA(consume);
+  std::thread consumerB(consume);
+  for (auto& t : submitters) t.join();
+  consumerA.join();
+  consumerB.join();
+  EXPECT_FALSE(doubleClaim.load()) << "a handle was claimed twice";
+  EXPECT_EQ(claimedIds.size(), static_cast<std::size_t>(kTotal));
+  EXPECT_EQ(okCount.load() + failCount.load(), kTotal);
+  EXPECT_GE(okCount.load(), 1);  // the cap sheds, it does not starve
+  EXPECT_FALSE(ch.waitAny().has_value());  // nothing left in flight
+  EXPECT_EQ(ch.stats().asyncCalls,
+            static_cast<std::uint64_t>(1 + kShedCalls + kTotal));
 }
 
 // Destroying a channel with submitted-but-unclaimed work must not hang or

@@ -284,6 +284,9 @@ TEST_P(ProtocolFuzz, FrameHeadersRoundTripWithRequestIds) {
     net::RequestFrameHeader rq;
     rq.methodId = static_cast<std::uint32_t>(1 + rng.below(14));
     rq.requestId = rng.next();
+    rq.tenantId = rng.next();
+    rq.priority =
+        static_cast<net::JobPriority>(rng.below(net::kJobPriorityCount));
     const auto reqFrame = net::encodeRequestFrame(rq, payload);
     ASSERT_EQ(reqFrame.size(), net::kRequestHeaderBytes + payload.size());
     net::RequestFrameHeader rqBack;
@@ -291,10 +294,13 @@ TEST_P(ProtocolFuzz, FrameHeadersRoundTripWithRequestIds) {
         reqFrame.data(), net::kRequestHeaderBytes, rqBack));
     EXPECT_EQ(rqBack.methodId, rq.methodId);
     EXPECT_EQ(rqBack.requestId, rq.requestId);
+    EXPECT_EQ(rqBack.tenantId, rq.tenantId);
+    EXPECT_EQ(rqBack.priority, rq.priority);
     EXPECT_EQ(rqBack.payloadBytes, payload.size());
 
     net::ResponseFrameHeader rs;
-    rs.status = static_cast<net::FrameStatus>(rng.below(4));
+    rs.status = static_cast<net::FrameStatus>(
+        rng.below(6));  // Ok..QuotaExceeded are all encodable statuses
     rs.requestId = rng.next();
     rs.serverCpuNanos = rng.next();
     const auto respFrame = net::encodeResponseFrame(rs, payload);
@@ -357,10 +363,10 @@ TEST_P(ProtocolFuzz, MangledFrameHeadersNeverDecodeAsValid) {
   net::RequestFrameHeader rq;
   rq.requestId = 7;
   auto frame = net::encodeRequestFrame(rq, {});
-  frame[16] = 0xff;  // payload length > kMaxFramePayloadBytes
-  frame[17] = 0xff;
-  frame[18] = 0xff;
-  frame[19] = 0xff;
+  frame[28] = 0xff;  // payload length > kMaxFramePayloadBytes
+  frame[29] = 0xff;
+  frame[30] = 0xff;
+  frame[31] = 0xff;
   net::RequestFrameHeader out;
   EXPECT_FALSE(net::decodeRequestFrameHeader(frame.data(),
                                              net::kRequestHeaderBytes, out));
@@ -372,6 +378,97 @@ TEST_P(ProtocolFuzz, MangledFrameHeadersNeverDecodeAsValid) {
   net::ResponseFrameHeader rsOut;
   EXPECT_FALSE(net::decodeResponseFrameHeader(
       resp.data(), net::kResponseHeaderBytes, rsOut));
+}
+
+TEST_P(ProtocolFuzz, OutOfRangePriorityAndStatusBytesAreRejected) {
+  // The priority word sits at bytes [24, 28) of the request header; any
+  // value >= kJobPriorityCount is a protocol violation the decoder must
+  // refuse (a server must never be tricked into indexing a lane that does
+  // not exist). Likewise response statuses: 4 and 5 are now real verdicts
+  // (Overloaded, QuotaExceeded), 6 and up remain undecodable.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0xd6e8feb86659fd93ULL);
+  for (int iter = 0; iter < 50; ++iter) {
+    net::RequestFrameHeader rq;
+    rq.requestId = rng.next();
+    rq.tenantId = rng.next();
+    auto frame = net::encodeRequestFrame(rq, {});
+    const std::uint32_t bad =
+        net::kJobPriorityCount +
+        static_cast<std::uint32_t>(rng.below(1u << 24));
+    frame[24] = static_cast<std::uint8_t>(bad >> 24);
+    frame[25] = static_cast<std::uint8_t>(bad >> 16);
+    frame[26] = static_cast<std::uint8_t>(bad >> 8);
+    frame[27] = static_cast<std::uint8_t>(bad);
+    net::RequestFrameHeader out;
+    EXPECT_FALSE(net::decodeRequestFrameHeader(
+        frame.data(), net::kRequestHeaderBytes, out))
+        << "priority " << bad << " must not decode";
+  }
+  for (std::uint8_t status : {std::uint8_t{6}, std::uint8_t{7},
+                              std::uint8_t{42}, std::uint8_t{0xff}}) {
+    net::ResponseFrameHeader rs;
+    rs.requestId = 11;
+    auto resp = net::encodeResponseFrame(rs, {});
+    resp[4] = status;
+    net::ResponseFrameHeader rsOut;
+    EXPECT_FALSE(net::decodeResponseFrameHeader(
+        resp.data(), net::kResponseHeaderBytes, rsOut))
+        << "status byte " << int(status) << " must not decode";
+  }
+  // The two new verdicts are valid wire statuses and survive a round trip.
+  for (net::FrameStatus status :
+       {net::FrameStatus::Overloaded, net::FrameStatus::QuotaExceeded}) {
+    net::ResponseFrameHeader rs;
+    rs.status = status;
+    rs.requestId = 12;
+    const auto resp = net::encodeResponseFrame(rs, {});
+    net::ResponseFrameHeader rsOut;
+    ASSERT_TRUE(net::decodeResponseFrameHeader(
+        resp.data(), net::kResponseHeaderBytes, rsOut));
+    EXPECT_EQ(rsOut.status, status);
+  }
+}
+
+TEST_P(ProtocolFuzz, TenantAndRequestIdFieldsAreIndependent) {
+  // Cross-tenant request-id confusion at the codec level: two frames that
+  // share a request id but differ only in tenant id must stay
+  // distinguishable, and corrupting either field's bytes must never bleed
+  // into the other. A demux that mixed them up would route one tenant's
+  // reply (and bill) to another.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0xa0761d6478bd642fULL);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::uint64_t sharedRequestId = rng.next();
+    net::RequestFrameHeader a;
+    a.methodId = 5;
+    a.requestId = sharedRequestId;
+    a.tenantId = rng.next();
+    net::RequestFrameHeader b = a;
+    b.tenantId = a.tenantId + 1 + rng.below(1000);
+    const auto frameA = net::encodeRequestFrame(a, {});
+    const auto frameB = net::encodeRequestFrame(b, {});
+    EXPECT_NE(frameA, frameB);
+    net::RequestFrameHeader backA;
+    net::RequestFrameHeader backB;
+    ASSERT_TRUE(net::decodeRequestFrameHeader(
+        frameA.data(), net::kRequestHeaderBytes, backA));
+    ASSERT_TRUE(net::decodeRequestFrameHeader(
+        frameB.data(), net::kRequestHeaderBytes, backB));
+    EXPECT_EQ(backA.requestId, backB.requestId);
+    EXPECT_NE(backA.tenantId, backB.tenantId);
+
+    // Overwrite the tenant word (bytes [16, 24)): the request id, method,
+    // and priority must decode unchanged.
+    auto mangled = frameA;
+    for (std::size_t i = 16; i < 24; ++i) {
+      mangled[i] = static_cast<std::uint8_t>(rng.next());
+    }
+    net::RequestFrameHeader backM;
+    ASSERT_TRUE(net::decodeRequestFrameHeader(
+        mangled.data(), net::kRequestHeaderBytes, backM));
+    EXPECT_EQ(backM.requestId, a.requestId);
+    EXPECT_EQ(backM.methodId, a.methodId);
+    EXPECT_EQ(backM.priority, a.priority);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Range(1, 6));

@@ -53,6 +53,17 @@ void writeAll(int fd, const std::vector<std::uint8_t>& bytes) {
             static_cast<ssize_t>(bytes.size()));
 }
 
+/// Builds the 32-byte request header for a raw transport send (anonymous
+/// tenant, default Query priority — these tests exercise framing, not
+/// admission).
+void sendRaw(net::Transport& transport, std::uint32_t methodId,
+             std::uint64_t requestId, const std::vector<std::uint8_t>& body) {
+  net::RequestFrameHeader h;
+  h.methodId = methodId;
+  h.requestId = requestId;
+  transport.send(h, body);
+}
+
 /// Drains the request frame the transport under test wrote to the peer end
 /// (and sanity-checks its header on the way past).
 void drainRequestFrame(int peerFd, std::uint64_t expectId) {
@@ -107,8 +118,8 @@ TEST(SocketFraming, OutOfOrderRepliesMatchByRequestId) {
   PairedTransport pair;
   const std::vector<std::uint8_t> bodyA = {1, 2, 3};
   const std::vector<std::uint8_t> bodyB = {9, 8, 7, 6};
-  pair.transport->send(3, 101, bodyA);
-  pair.transport->send(3, 102, bodyB);
+  sendRaw(*pair.transport, 3, 101, bodyA);
+  sendRaw(*pair.transport, 3, 102, bodyB);
   drainRequestFrame(pair.peerFd, 101);
   drainRequestFrame(pair.peerFd, 102);
   // Answer in reverse order: the demux must route each reply to its id.
@@ -126,7 +137,7 @@ TEST(SocketFraming, OutOfOrderRepliesMatchByRequestId) {
 
 TEST(SocketFraming, UnknownRequestIdFramesAreDroppedAndCounted) {
   PairedTransport pair;
-  pair.transport->send(1, 50, {0xAA});
+  sendRaw(*pair.transport, 1, 50, {0xAA});
   drainRequestFrame(pair.peerFd, 50);
   // A reply for an id nobody registered: stale retransmission answer or
   // hostile injection. It must never surface to a caller.
@@ -149,7 +160,7 @@ TEST(SocketFraming, UnknownRequestIdFramesAreDroppedAndCounted) {
 
 TEST(SocketFraming, DuplicateRepliesAreBothDeliveredInOrder) {
   PairedTransport pair;
-  pair.transport->send(2, 77, {0x01});
+  sendRaw(*pair.transport, 2, 77, {0x01});
   drainRequestFrame(pair.peerFd, 77);
   // The channel's duplicateRequest chaos sends one id twice and expects to
   // collect both answers (the second flags the provider's replay cache).
@@ -165,7 +176,7 @@ TEST(SocketFraming, DuplicateRepliesAreBothDeliveredInOrder) {
 
 TEST(SocketFraming, NonOkStatusRepliesAreCountedAsRejected) {
   PairedTransport pair;
-  pair.transport->send(1, 11, {});
+  sendRaw(*pair.transport, 1, 11, {});
   drainRequestFrame(pair.peerFd, 11);
   writeAll(pair.peerFd,
            responseFrame(11, net::FrameStatus::TooManyPending, {}));
@@ -273,9 +284,9 @@ TEST(ProviderSocket, ShedsWithTypedTooManyPendingStatus) {
   auto shed = net::SocketTransport::connectTcp("127.0.0.1", port);
   ASSERT_NE(busy, nullptr);
   ASSERT_NE(shed, nullptr);
-  busy->send(5, 1, sealedEchoRequest(0xAB));
+  sendRaw(*busy, 5, 1, sealedEchoRequest(0xAB));
   endpoint.awaitEntered(1);  // the only dispatch slot is now occupied
-  shed->send(5, 2, sealedEchoRequest(0xCD));
+  sendRaw(*shed, 5, 2, sealedEchoRequest(0xCD));
   net::TransportReply rejected = shed->awaitReply(2, 5.0);
   ASSERT_TRUE(rejected.delivered);
   EXPECT_EQ(rejected.status, net::FrameStatus::TooManyPending);
@@ -284,8 +295,13 @@ TEST(ProviderSocket, ShedsWithTypedTooManyPendingStatus) {
   ASSERT_TRUE(served.delivered);
   EXPECT_EQ(served.status, net::FrameStatus::Ok);
   // The reply frame can reach the client before the handler thread bumps
-  // the serve counter — poll instead of asserting the instant snapshot.
-  EXPECT_TRUE(eventually([&] { return server.stats().framesServed == 1; }));
+  // the serve counter — wait on the stats condition variable instead of
+  // asserting the instant snapshot.
+  EXPECT_TRUE(server.awaitStats(
+      [](const ip::ProviderSocketServer::Stats& s) {
+        return s.framesServed == 1;
+      },
+      2.0));
   EXPECT_EQ(server.stats().shedRequests, 1u);
   server.stop();
 }
@@ -303,12 +319,16 @@ TEST(ProviderSocket, ChecksumFailureIsSilentlyDiscarded) {
   // must stay silent (the client's deadline owns the outcome).
   std::vector<std::uint8_t> damaged = sealedEchoRequest(0x11);
   damaged.back() ^= 0xFF;
-  transport->send(5, 9, damaged);
+  sendRaw(*transport, 5, 9, damaged);
   EXPECT_FALSE(transport->awaitReply(9, 0.2).delivered);
-  ASSERT_TRUE(eventually([&] { return server.stats().discardedFrames == 1; }));
+  ASSERT_TRUE(server.awaitStats(
+      [](const ip::ProviderSocketServer::Stats& s) {
+        return s.discardedFrames == 1;
+      },
+      2.0));
   EXPECT_EQ(server.stats().framesServed, 0u);
   // The connection survives: a follow-up intact request is served.
-  transport->send(5, 10, sealedEchoRequest(0x22));
+  sendRaw(*transport, 5, 10, sealedEchoRequest(0x22));
   net::TransportReply ok = transport->awaitReply(10, 5.0);
   ASSERT_TRUE(ok.delivered);
   EXPECT_EQ(ok.status, net::FrameStatus::Ok);
@@ -328,7 +348,7 @@ TEST(ProviderSocket, UnparseableSealedPayloadGetsTypedReject) {
   // protocol violation worth a typed answer, unlike wire damage.
   std::vector<std::uint8_t> junk = {0xDE, 0xAD, 0xBE, 0xEF};
   net::sealFrame(junk);
-  transport->send(5, 3, junk);
+  sendRaw(*transport, 5, 3, junk);
   net::TransportReply r = transport->awaitReply(3, 5.0);
   ASSERT_TRUE(r.delivered);
   EXPECT_EQ(r.status, net::FrameStatus::MalformedRequest);
